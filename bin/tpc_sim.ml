@@ -1,0 +1,330 @@
+(* tpc_sim: command-line driver for the 2PC simulator.
+
+   Subcommands:
+     run       - one distributed commit over a chosen tree/protocol/options
+     tables    - regenerate the paper's Tables 2, 3 and 4
+     figures   - render the paper's figures as sequence diagrams
+     chain     - Table 4 style chained-transaction streams
+     group     - group-commit sweep
+     crash     - a commit with an injected crash, showing recovery *)
+
+open Cmdliner
+open Tpc.Types
+
+(* --- shared argument parsing ---------------------------------------- *)
+
+let protocol_conv =
+  let parse = function
+    | "basic" -> Ok Basic
+    | "pa" | "presumed-abort" -> Ok Presumed_abort
+    | "pn" | "presumed-nothing" -> Ok Presumed_nothing
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (basic|pa|pn)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (protocol_to_string p) in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  let doc = "Commit protocol: basic, pa (presumed abort) or pn (presumed nothing)." in
+  Arg.(value & opt protocol_conv Presumed_abort & info [ "p"; "protocol" ] ~doc)
+
+let opt_names =
+  [
+    "read-only";
+    "last-agent";
+    "unsolicited";
+    "leave-out";
+    "shared-log";
+    "long-locks";
+    "vote-reliable";
+    "wait-for-outcome";
+    "early-ack";
+  ]
+
+let opts_arg =
+  let doc =
+    "Enable an optimization (repeatable): "
+    ^ String.concat ", " opt_names ^ "."
+  in
+  Arg.(value & opt_all string [] & info [ "O"; "enable" ] ~doc)
+
+let build_opts names =
+  List.fold_left
+    (fun acc name ->
+      match name with
+      | "read-only" -> { acc with read_only = true }
+      | "last-agent" -> { acc with last_agent = true }
+      | "unsolicited" -> { acc with unsolicited_vote = true }
+      | "leave-out" -> { acc with leave_out = true }
+      | "shared-log" -> { acc with shared_log = true }
+      | "long-locks" -> { acc with long_locks = true }
+      | "vote-reliable" -> { acc with vote_reliable = true }
+      | "wait-for-outcome" -> { acc with wait_for_outcome = true }
+      | "early-ack" -> { acc with ack = Early_ack }
+      | other ->
+          Printf.eprintf "warning: unknown optimization %S ignored\n" other;
+          acc)
+    no_opts names
+
+let n_arg =
+  let doc = "Number of members in the commit tree." in
+  Arg.(value & opt int 5 & info [ "n"; "members" ] ~doc)
+
+let m_arg =
+  let doc = "Number of members following the enabled optimization." in
+  Arg.(value & opt int 0 & info [ "m" ] ~doc)
+
+let shape_arg =
+  let doc = "Tree shape: flat, chain or random." in
+  Arg.(value & opt string "flat" & info [ "shape" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (random tree shape)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let latency_arg =
+  let doc = "Network latency between members (virtual time units)." in
+  Arg.(value & opt float 1.0 & info [ "latency" ] ~doc)
+
+let trace_arg =
+  let doc = "Print the full event trace." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let diagram_arg =
+  let doc = "Render the message-sequence diagram." in
+  Arg.(value & flag & info [ "diagram" ] ~doc)
+
+(* --- run -------------------------------------------------------------- *)
+
+let make_tree shape seed n opt m =
+  match (shape, opt) with
+  | "chain", _ -> Workload.chain ~n ()
+  | "random", _ -> Workload.random_tree ~seed ~n ()
+  | _, Some o when m > 0 -> Workload.table3_tree o ~n ~m
+  | _, _ -> Workload.flat ~n ()
+
+let pick_cost_opt opts =
+  if opts.read_only then Some Tpc.Cost_model.Read_only_opt
+  else if opts.last_agent then Some Tpc.Cost_model.Last_agent_opt
+  else if opts.unsolicited_vote then Some Tpc.Cost_model.Unsolicited_vote_opt
+  else if opts.leave_out then Some Tpc.Cost_model.Leave_out_opt
+  else if opts.shared_log then Some Tpc.Cost_model.Shared_log_opt
+  else if opts.long_locks then Some Tpc.Cost_model.Long_locks_opt
+  else if opts.vote_reliable then Some Tpc.Cost_model.Vote_reliable_opt
+  else if opts.wait_for_outcome then Some Tpc.Cost_model.Wait_for_outcome_opt
+  else None
+
+let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram =
+  if n < 1 then (
+    Printf.eprintf "tpc_sim: -n must be at least 1\n";
+    exit 2);
+  if m < 0 || m >= n then
+    if m <> 0 then (
+      Printf.eprintf "tpc_sim: -m must satisfy 0 <= m < n\n";
+      exit 2);
+  let opts = build_opts opt_names in
+  let config = { default_config with protocol; opts; latency } in
+  let tree = make_tree shape seed n (pick_cost_opt opts) m in
+  let metrics, world = Tpc.Run.commit_tree ~config tree in
+  Format.printf "%a@." Tpc.Metrics.pp metrics;
+  if show_diagram then begin
+    let nodes = List.map (fun p -> p.p_name) (tree_members tree) in
+    Format.printf "@.%s@." (Tpc.Trace.sequence_diagram world.Tpc.Run.trace ~nodes)
+  end;
+  if show_trace then
+    Format.printf "@.%s@." (Tpc.Trace.to_string world.Tpc.Run.trace)
+
+let run_term =
+  Term.(
+    const run_cmd $ protocol_arg $ opts_arg $ n_arg $ m_arg $ shape_arg
+    $ seed_arg $ latency_arg $ trace_arg $ diagram_arg)
+
+(* --- tables ------------------------------------------------------------ *)
+
+let tables_cmd n m r =
+  Format.printf "Table 3 (n=%d, m=%d): simulated = paper formula@.@." n m;
+  List.iter
+    (fun (label, counts) ->
+      Format.printf "  %-28s %a@." label Tpc.Cost_model.pp_counts counts)
+    (Tpc.Cost_model.table3 ~n ~m);
+  Format.printf "@.Simulated:@.";
+  List.iter
+    (fun opt ->
+      Format.printf "  PA & %-24s %a@."
+        (Tpc.Cost_model.optimization_to_string opt)
+        Tpc.Cost_model.pp_counts
+        (Workload.run_table3 opt ~n ~m))
+    Tpc.Cost_model.all_optimizations;
+  Format.printf "@.Table 4 (r=%d):@." r;
+  List.iter
+    (fun (label, counts) ->
+      Format.printf "  %-36s %a@." label Tpc.Cost_model.pp_counts counts)
+    (Tpc.Cost_model.table4 ~r)
+
+let tables_term =
+  let r_arg =
+    Arg.(value & opt int 12 & info [ "r" ] ~doc:"Chained transactions (Table 4).")
+  in
+  Term.(const tables_cmd $ n_arg $ m_arg $ r_arg)
+
+(* --- figures ------------------------------------------------------------ *)
+
+let figures_cmd which =
+  let all = Tpc.Scenarios.all () in
+  let selected =
+    match which with
+    | None -> all
+    | Some id ->
+        List.filter (fun sc -> sc.Tpc.Scenarios.sc_id = "figure-" ^ id) all
+  in
+  if selected = [] then (
+    Printf.eprintf "tpc_sim: no such figure (use 1-8)\n";
+    exit 2)
+  else List.iter (fun sc -> print_string (Tpc.Scenarios.render sc)) selected
+
+let figures_term =
+  let which =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "figure" ] ~doc:"Figure number (1-8); default: all.")
+  in
+  Term.(const figures_cmd $ which)
+
+(* --- chain --------------------------------------------------------------- *)
+
+let chain_cmd mode r latency =
+  let mode =
+    match mode with
+    | "basic" -> Tpc.Stream.Chain_basic
+    | "long-locks" -> Tpc.Stream.Chain_long_locks
+    | _ -> Tpc.Stream.Chain_long_locks_last_agent
+  in
+  let res = Tpc.Stream.run_chain ~latency mode ~r in
+  Format.printf
+    "%s: r=%d  flows=%d (+%d data)  writes=%d  forced=%d  duration=%.1f  \
+     lock-time/txn=%.1f@."
+    (Tpc.Stream.mode_to_string mode)
+    r res.Tpc.Stream.flows res.Tpc.Stream.data_flows res.Tpc.Stream.writes
+    res.Tpc.Stream.forced res.Tpc.Stream.duration
+    res.Tpc.Stream.mean_coordinator_lock_time
+
+let chain_term =
+  let mode =
+    Arg.(
+      value & opt string "long-locks"
+      & info [ "mode" ] ~doc:"basic, long-locks or long-locks-last-agent.")
+  in
+  let r = Arg.(value & opt int 12 & info [ "r" ] ~doc:"Transactions.") in
+  Term.(const chain_cmd $ mode $ r $ latency_arg)
+
+(* --- group commit --------------------------------------------------------- *)
+
+let group_cmd n sizes =
+  Format.printf "%-8s %-12s %-12s %-10s %-14s@." "group" "requests" "I/Os"
+    "saved" "paper 3n/2m";
+  List.iter
+    (fun m ->
+      let r = Tpc.Stream.run_group_commit ~n ~group_size:m () in
+      Format.printf "%-8d %-12d %-12d %-10d %-14.1f@." m
+        r.Tpc.Stream.gc_force_requests r.Tpc.Stream.gc_force_ios
+        r.Tpc.Stream.gc_saved_ios r.Tpc.Stream.gc_paper_saving)
+    sizes
+
+let group_term =
+  let n = Arg.(value & opt int 96 & info [ "n" ] ~doc:"Concurrent transactions.") in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16; 32 ]
+      & info [ "sizes" ] ~doc:"Group sizes to sweep.")
+  in
+  Term.(const group_cmd $ n $ sizes)
+
+(* --- crash ----------------------------------------------------------------- *)
+
+let point_conv =
+  let table =
+    [
+      ("on-prepare", Cp_on_prepare);
+      ("after-prepared", Cp_after_prepared_log);
+      ("after-vote", Cp_after_vote);
+      ("before-decision-log", Cp_before_decision_log);
+      ("after-decision-log", Cp_after_decision_log);
+      ("after-decision-received", Cp_after_decision_received);
+      ("before-ack", Cp_before_ack);
+      ("after-commit-pending", Cp_after_commit_pending);
+    ]
+  in
+  let parse s =
+    match List.assoc_opt s table with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown crash point %S (%s)" s
+               (String.concat "|" (List.map fst table))))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (fst (List.find (fun (_, q) -> q = p) table))
+  in
+  Arg.conv (parse, print)
+
+let crash_cmd protocol node point restart =
+  if not (List.mem node [ "coord"; "c1"; "c2" ]) then (
+    Printf.eprintf
+      "tpc_sim: --node must be one of coord, c1, c2 (the three-member chain)\n";
+    exit 2);
+  let config =
+    {
+      default_config with
+      protocol;
+      retry_interval = 25.0;
+      faults = [ { f_node = node; f_point = point; f_restart_after = restart } ];
+    }
+  in
+  let tree = Workload.chain ~n:3 () in
+  let metrics, world = Tpc.Run.commit_tree ~config tree in
+  Format.printf "%a@.@.%s@." Tpc.Metrics.pp metrics
+    (Tpc.Trace.to_string world.Tpc.Run.trace)
+
+let crash_term =
+  let node =
+    Arg.(value & opt string "c1" & info [ "node" ] ~doc:"Node to crash (coord, c1, c2).")
+  in
+  let point =
+    Arg.(
+      value & opt point_conv Cp_after_vote
+      & info [ "at" ] ~doc:"Crash point in the protocol.")
+  in
+  let restart =
+    Arg.(
+      value
+      & opt (some float) (Some 30.0)
+      & info [ "restart-after" ] ~doc:"Restart delay; omit for a permanent crash.")
+  in
+  Term.(const crash_cmd $ protocol_arg $ node $ point $ restart)
+
+(* --- command tree ------------------------------------------------------------- *)
+
+let cmd name term doc = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "tpc_sim" ~version:"1.0.0"
+      ~doc:
+        "Simulator for two-phase commit optimizations (Samaras, Britton, \
+         Citron, Mohan; ICDE 1993)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            cmd "run" run_term "Run one distributed commit.";
+            cmd "tables" tables_term "Regenerate the paper's cost tables.";
+            cmd "figures" figures_term "Render the paper's figures.";
+            cmd "chain" chain_term "Chained-transaction streams (Table 4).";
+            cmd "group" group_term "Group-commit sweep.";
+            cmd "crash" crash_term "Commit with an injected crash and recovery.";
+          ]))

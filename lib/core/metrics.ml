@@ -1,0 +1,96 @@
+(** Per-run result summary: the paper's three evaluation axes (message
+    flows, log writes, resource lock time) plus outcome/heuristic data. *)
+
+type t = {
+  outcome : Types.outcome option;  (** [None]: the root never completed *)
+  pending : bool;      (** wait-for-outcome: completed with outcome pending *)
+  flows : int;         (** protocol message flows (paper convention) *)
+  data_flows : int;    (** application-data messages (carry piggybacks) *)
+  tm_writes : int;     (** transaction-manager log writes *)
+  tm_forced : int;     (** ... of which forced *)
+  force_ios : int;     (** physical force I/Os over all logs (group commit) *)
+  completion_time : float option;  (** root application told the outcome *)
+  quiesce_time : float;            (** last event in the run *)
+  mean_lock_release : float option;
+      (** mean over members of the time their locks were released *)
+  max_lock_release : float option;
+  heuristics : int;
+  damage_reports : (string * string) list;  (** (damaged node, reported to) *)
+}
+
+let of_run ~trace ~wals ~root ~outcome ~pending ~quiesce_time =
+  let events = Trace.events trace in
+  (* the engine may drain harmless no-op retry timers long after the last
+     real action: report the last traced event instead *)
+  let quiesce_time =
+    List.fold_left
+      (fun acc e -> max acc (Trace.event_time e))
+      (if events = [] then quiesce_time else 0.0)
+      events
+  in
+  let data_flows =
+    List.length
+      (List.filter
+         (function Trace.Send { protocol = false; _ } -> true | _ -> false)
+         events)
+  in
+  let release_times =
+    List.filter_map
+      (function Trace.Locks_released { time; _ } -> Some time | _ -> None)
+      events
+  in
+  let mean l =
+    match l with
+    | [] -> None
+    | _ -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+  in
+  let maxi l =
+    match l with [] -> None | x :: rest -> Some (List.fold_left max x rest)
+  in
+  let force_ios =
+    List.fold_left (fun acc w -> acc + (Wal.Log.stats w).Wal.Log.force_ios) 0 wals
+  in
+  {
+    outcome;
+    pending;
+    flows = Trace.flows trace;
+    data_flows;
+    tm_writes = Trace.tm_writes trace;
+    tm_forced = Trace.tm_forced_writes trace;
+    force_ios;
+    completion_time = Trace.completion_time trace root;
+    quiesce_time;
+    mean_lock_release = mean release_times;
+    max_lock_release = maxi release_times;
+    heuristics = Trace.heuristic_count trace;
+    damage_reports = Trace.damage_reports trace;
+  }
+
+let counts t : Cost_model.counts =
+  { Cost_model.flows = t.flows; writes = t.tm_writes; forced = t.tm_forced }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>outcome: %s%s@,\
+     flows: %d (+%d data)@,\
+     log writes: %d (%d forced), %d force I/Os@,\
+     completion: %s, quiesce: %.2f@,\
+     lock release (mean/max): %s / %s@,\
+     heuristics: %d, damage reports: %d@]"
+    (match t.outcome with
+    | Some o -> Types.outcome_to_string o
+    | None -> "(never completed)")
+    (if t.pending then " (outcome pending)" else "")
+    t.flows t.data_flows t.tm_writes t.tm_forced t.force_ios
+    (match t.completion_time with
+    | Some c -> Printf.sprintf "%.2f" c
+    | None -> "-")
+    t.quiesce_time
+    (match t.mean_lock_release with
+    | Some v -> Printf.sprintf "%.2f" v
+    | None -> "-")
+    (match t.max_lock_release with
+    | Some v -> Printf.sprintf "%.2f" v
+    | None -> "-")
+    t.heuristics
+    (List.length t.damage_reports)

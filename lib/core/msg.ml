@@ -1,0 +1,74 @@
+(** Wire protocol of the commit engine.
+
+    One network message (one {e flow} in the paper's accounting) carries a
+    list of payloads: piggybacking is how the implied-acknowledgment,
+    long-locks and chained-transaction optimizations avoid flows. *)
+
+type damage_report = {
+  d_node : string;            (** where the heuristic decision was taken *)
+  d_action : Types.outcome;   (** what it unilaterally did *)
+  d_outcome : Types.outcome;  (** what the transaction actually decided *)
+}
+
+type payload =
+  | Prepare of {
+      txn : string;
+      long_locks : bool;  (** coordinator requests deferred acknowledgment *)
+    }
+  | Vote_msg of {
+      txn : string;
+      vote : Types.vote;
+      delegation : bool;
+          (** true on the coordinator's own YES sent to a last agent: the
+              receiver now owns the commit decision *)
+      unsolicited : bool;
+      implied_ack : bool;
+          (** the voter is a reliable resource whose acknowledgment will be
+              implied rather than sent (Vote Reliable, Figure 8) *)
+    }
+  | Decision_msg of { txn : string; outcome : Types.outcome }
+  | Ack_msg of {
+      txn : string;
+      damage : damage_report list;
+      pending : bool;  (** wait-for-outcome: subtree resolution in progress *)
+    }
+  | Data of { txn : string; info : string }
+      (** application data; begins work at the receiver and serves as the
+          implied acknowledgment for any outcome the receiver was awaiting *)
+  | Inquiry of { txn : string }
+      (** PA subordinate-initiated recovery: "what happened to [txn]?" *)
+  | Inquiry_reply of { txn : string; outcome : Types.outcome option }
+      (** [None] = no information (PA: presume abort) *)
+
+let payload_txn = function
+  | Prepare { txn; _ }
+  | Vote_msg { txn; _ }
+  | Decision_msg { txn; _ }
+  | Ack_msg { txn; _ }
+  | Data { txn; _ }
+  | Inquiry { txn }
+  | Inquiry_reply { txn; _ } ->
+      txn
+
+let payload_label = function
+  | Prepare { long_locks; _ } ->
+      if long_locks then "Prepare(long-locks)" else "Prepare"
+  | Vote_msg { vote; delegation; unsolicited; implied_ack; _ } ->
+      let base = "Vote " ^ Types.vote_to_string vote in
+      let base = if delegation then base ^ " (you decide)" else base in
+      let base = if unsolicited then base ^ " (unsolicited)" else base in
+      if implied_ack then base ^ " (ack implied)" else base
+  | Decision_msg { outcome = Types.Committed; _ } -> "Commit"
+  | Decision_msg { outcome = Types.Aborted; _ } -> "Abort"
+  | Ack_msg { damage = []; pending = false; _ } -> "Ack"
+  | Ack_msg { damage = []; pending = true; _ } -> "Ack(pending)"
+  | Ack_msg { damage; pending; _ } ->
+      Printf.sprintf "Ack(%d damaged%s)" (List.length damage)
+        (if pending then ",pending" else "")
+  | Data { info; _ } -> if info = "" then "Data" else "Data:" ^ info
+  | Inquiry _ -> "Inquiry"
+  | Inquiry_reply { outcome = None; _ } -> "NoInformation"
+  | Inquiry_reply { outcome = Some o; _ } ->
+      "Outcome " ^ Types.outcome_to_string o
+
+let bundle_label payloads = String.concat " + " (List.map payload_label payloads)

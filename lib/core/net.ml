@@ -1,0 +1,5 @@
+(** The simulated network carrying 2PC payload bundles. *)
+
+include Netsim.Make (struct
+  type t = Msg.payload
+end)

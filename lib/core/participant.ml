@@ -1,0 +1,1459 @@
+(** Per-node 2PC state machine.
+
+    One participant is a transaction manager plus its local resource manager
+    (a {!Kvstore.t}).  It implements the baseline protocol, Presumed Abort
+    and Presumed Nothing, and all the optimizations of Section 4, driven
+    entirely by network deliveries, log-force completions and timers on the
+    shared virtual clock.
+
+    The protocol follows the message/logging schedules of the paper's
+    figures; DESIGN.md section 3 states the exact counting conventions the
+    implementation reproduces. *)
+
+open Types
+
+type phase =
+  | Ph_idle
+  | Ph_voting        (* collecting local vote and children's votes *)
+  | Ph_in_doubt      (* voted YES, awaiting the decision *)
+  | Ph_delegated     (* sent YES-with-delegation to the last agent *)
+  | Ph_deciding      (* outcome chosen, logging it *)
+  | Ph_propagating   (* outcome durable, awaiting acknowledgments *)
+  | Ph_ended
+
+type child = {
+  ch_profile : profile;
+  mutable ch_vote : vote option;
+  mutable ch_implied_ack : bool;
+      (* the child declared its acknowledgment implied (reliable leaf) *)
+  mutable ch_acked : bool;
+  mutable ch_last_agent : bool;
+  mutable ch_pending : bool;  (* wait-for-outcome: resolution in background *)
+  mutable ch_retries : int;
+}
+
+type txn_state = {
+  txn : string;
+  mutable phase : phase;
+  mutable parent : string option;   (* who sent us Prepare / delegation *)
+  mutable delegator : string option; (* parent that handed us the decision *)
+  mutable children : child list;    (* participating children this txn *)
+  mutable local_vote : vote option;
+  mutable outcome : outcome option;
+  mutable decision_durable : bool;
+  mutable long_locks_requested : bool;
+  mutable sent_vote_reliable : bool; (* we voted YES+reliable: elide our ack *)
+  mutable acked_up : bool;
+  mutable damage : Msg.damage_report list;
+  mutable pending : bool;
+  mutable heuristic_action : outcome option;
+  mutable vote_timer : Simkernel.Engine.event option;
+  mutable heuristic_timer : Simkernel.Engine.event option;
+  mutable indoubt_timer : Simkernel.Engine.event option;
+  mutable awaiting_implied_ack : bool; (* END deferred until next-txn data *)
+}
+
+type t = {
+  name : string;
+  profile : profile;
+  cfg : config;
+  engine : Simkernel.Engine.t;
+  net : Net.t;
+  log : Wal.Log.t;
+  kv : Kvstore.t;
+  trace : Trace.t;
+  parent_name : string option;
+  child_profiles : profile list;  (* static immediate children *)
+  txns : (string, txn_state) Hashtbl.t;
+  ended : (string, outcome) Hashtbl.t;  (* finished txns, for idempotent replies *)
+  faults : (crash_point, fault) Hashtbl.t;
+  fired_faults : (crash_point, unit) Hashtbl.t;
+  mutable crashed : bool;
+  mutable epoch : int;
+  mutable on_root_complete : (outcome -> pending:bool -> unit) option;
+  suspended_children : (string, unit) Hashtbl.t;
+      (* children whose last committed YES carried OK-TO-LEAVE-OUT: they are
+         suspended awaiting data and may be left out of the next transaction *)
+  idle_children : (string, unit) Hashtbl.t;
+      (* children that exchanged no data with us in the current transaction
+         (set by the workload driver before commit begins) *)
+}
+
+let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
+    ~wal ~kv =
+  let faults = Hashtbl.create 4 in
+  List.iter
+    (fun f -> if f.f_node = profile.p_name then Hashtbl.replace faults f.f_point f)
+    cfg.faults;
+  {
+    name = profile.p_name;
+    profile;
+    cfg;
+    engine;
+    net;
+    log = wal;
+    kv;
+    trace;
+    parent_name = parent;
+    child_profiles;
+    txns = Hashtbl.create 4;
+    ended = Hashtbl.create 4;
+    faults;
+    fired_faults = Hashtbl.create 4;
+    crashed = false;
+    epoch = 0;
+    on_root_complete = None;
+    suspended_children = Hashtbl.create 4;
+    idle_children = Hashtbl.create 4;
+  }
+
+let name t = t.name
+let kv t = t.kv
+let log t = t.log
+let is_crashed t = t.crashed
+let set_on_root_complete t f = t.on_root_complete <- Some f
+
+(* The workload driver declares, per transaction, which immediate children
+   exchanged no data with this member; a child that is both idle and
+   suspended (its previous committed YES said OK-TO-LEAVE-OUT) is left out
+   of the commit entirely. *)
+let note_idle_child t ~child = Hashtbl.replace t.idle_children child ()
+let clear_idle_children t = Hashtbl.reset t.idle_children
+let is_suspended t ~child = Hashtbl.mem t.suspended_children child
+
+let now t = Simkernel.Engine.now t.engine
+
+(* Schedule a callback that is silently dropped if the node crashes (and
+   possibly restarts) in the meantime. *)
+let sched t ~delay f =
+  let ep = t.epoch in
+  Simkernel.Engine.schedule t.engine ~delay (fun () ->
+      if (not t.crashed) && t.epoch = ep then f ())
+
+let sched_ t ~delay f = ignore (sched t ~delay f)
+
+let cancel_timer t ev_opt =
+  match ev_opt with
+  | Some ev -> Simkernel.Engine.cancel t.engine ev
+  | None -> ()
+
+let trace t ev = Trace.record t.trace ev
+
+(* ------------------------------------------------------------------ *)
+(* Messaging                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A bundle containing application [Data] is a data flow: anything
+   piggybacked on it travels free (implied acks, long-locks acks). *)
+let bundle_is_protocol payloads =
+  not (List.exists (function Msg.Data _ -> true | _ -> false) payloads)
+
+let send t ~dst payloads =
+  trace t
+    (Trace.Send
+       {
+         time = now t;
+         src = t.name;
+         dst;
+         label = Msg.bundle_label payloads;
+         protocol = bundle_is_protocol payloads;
+       });
+  ignore (Net.send t.net ~src:t.name ~dst payloads)
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared-log members write their records into the parent's log without
+   forcing: durability rides on the parent TM's forces. *)
+let tm_force t ~txn kind k =
+  let record = Wal.Log_record.make ~txn ~node:t.name kind in
+  if t.cfg.opts.shared_log && t.profile.p_shares_parent_log then begin
+    trace t
+      (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
+    Wal.Log.append t.log record;
+    k ()
+  end
+  else begin
+    trace t
+      (Trace.Log_write { time = now t; node = t.name; kind; forced = true; rm = false });
+    let ep = t.epoch in
+    Wal.Log.force t.log record (fun () ->
+        if (not t.crashed) && t.epoch = ep then k ())
+  end
+
+let tm_append t ~txn kind =
+  trace t
+    (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
+  Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.name kind)
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec crash t =
+  t.crashed <- true;
+  t.epoch <- t.epoch + 1;
+  trace t (Trace.Crash { time = now t; node = t.name });
+  Net.crash_node t.net t.name;
+  Wal.Log.crash t.log;
+  Kvstore.crash t.kv;
+  Hashtbl.reset t.txns;
+  (* suspension is conversation state: the sessions died with us, so the
+     conservative post-crash behaviour is to re-engage everyone *)
+  Hashtbl.reset t.suspended_children;
+  Hashtbl.reset t.idle_children
+
+(* [maybe_crash] returns true when the fault fired: the caller must stop. *)
+and maybe_crash t point =
+  match Hashtbl.find_opt t.faults point with
+  | Some f when not (Hashtbl.mem t.fired_faults point) ->
+      Hashtbl.replace t.fired_faults point ();
+      crash t;
+      (match f.f_restart_after with
+      | Some delay ->
+          (* restart is scheduled on the raw engine: the node is down, so the
+             epoch guard must not apply *)
+          ignore
+            (Simkernel.Engine.schedule t.engine ~delay (fun () -> restart t))
+      | None -> ());
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Transaction state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and new_txn_state t txn =
+  let st =
+    {
+      txn;
+      phase = Ph_idle;
+      parent = None;
+      delegator = None;
+      children = [];
+      local_vote = None;
+      outcome = None;
+      decision_durable = false;
+      long_locks_requested = false;
+      sent_vote_reliable = false;
+      acked_up = false;
+      damage = [];
+      pending = false;
+      heuristic_action = None;
+      vote_timer = None;
+      heuristic_timer = None;
+      indoubt_timer = None;
+      awaiting_implied_ack = false;
+    }
+  in
+  Hashtbl.replace t.txns txn st;
+  st
+
+and get_txn t txn = Hashtbl.find_opt t.txns txn
+
+and get_or_new_txn t txn =
+  match get_txn t txn with Some st -> st | None -> new_txn_state t txn
+
+(* Children that take part in this transaction: left-out members are
+   excluded entirely when the optimization is enabled. *)
+and participating_children t =
+  List.filter_map
+    (fun p ->
+      if
+        t.cfg.opts.leave_out
+        && (p.p_left_out
+           || (Hashtbl.mem t.suspended_children p.p_name
+              && Hashtbl.mem t.idle_children p.p_name))
+      then begin
+        trace t
+          (Trace.Note
+             {
+               time = now t;
+               node = t.name;
+               text = Printf.sprintf "leaves out suspended server %s" p.p_name;
+             });
+        None
+      end
+      else
+        Some
+          {
+            ch_profile = p;
+            ch_vote = None;
+            ch_implied_ack = false;
+            ch_acked = false;
+            ch_last_agent = false;
+            ch_pending = false;
+            ch_retries = 0;
+          })
+    t.child_profiles
+
+(* ------------------------------------------------------------------ *)
+(* Voting phase                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Entry point at the root coordinator. *)
+and begin_commit t ~txn =
+  let st = get_or_new_txn t txn in
+  st.phase <- Ph_voting;
+  st.children <- participating_children t;
+  if t.cfg.protocol = Presumed_nothing then
+    (* PN: the coordinator must remember its subordinates before any
+       Prepare leaves the node (Figure 3). *)
+    tm_force t ~txn Wal.Log_record.Commit_pending (fun () ->
+        if not (maybe_crash t Cp_after_commit_pending) then start_phase1 t st)
+  else start_phase1 t st
+
+and designate_last_agent t st =
+  (* Pick the final participating child as the last agent; Run orders
+     children so the highest-latency member comes last. *)
+  if t.cfg.opts.last_agent then
+    match List.rev st.children with
+    | last :: _
+      when (not (t.cfg.opts.unsolicited_vote && last.ch_profile.p_unsolicited))
+           && not last.ch_profile.p_shares_parent_log ->
+        last.ch_last_agent <- true
+    | _ -> ()
+
+and start_phase1 t st =
+  (* any member we engage is no longer suspended *)
+  List.iter
+    (fun ch -> Hashtbl.remove t.suspended_children ch.ch_profile.p_name)
+    st.children;
+  designate_last_agent t st;
+  (* Prepare flows to everyone except the last agent (contacted after all
+     other votes are in) and unsolicited voters (they contact us). *)
+  List.iter
+    (fun ch ->
+      if
+        (not ch.ch_last_agent)
+        && not (t.cfg.opts.unsolicited_vote && ch.ch_profile.p_unsolicited)
+      then
+        send t ~dst:ch.ch_profile.p_name
+          [
+            Msg.Prepare
+              {
+                txn = st.txn;
+                long_locks = t.cfg.opts.long_locks && ch.ch_profile.p_long_locks;
+              };
+          ])
+    st.children;
+  start_vote_timer t st;
+  local_prepare t st
+
+and start_vote_timer t st =
+  st.vote_timer <-
+    Some
+      (sched t ~delay:t.cfg.retry_interval (fun () ->
+           if st.phase = Ph_voting then begin
+             (* missing votes are treated as NO *)
+             trace t
+               (Trace.Note
+                  {
+                    time = now t;
+                    node = t.name;
+                    text = "vote timeout: presuming NO from silent members";
+                  });
+             List.iter
+               (fun ch ->
+                 if ch.ch_vote = None && not ch.ch_last_agent then
+                   ch.ch_vote <- Some Vote_no)
+               st.children;
+             maybe_all_votes_in t st
+           end))
+
+(* The local resource manager's vote.  The RM's own records are non-forced:
+   their durability rides on the TM's forced Prepared/Committed record in
+   the same log. *)
+and local_prepare t st =
+  Kvstore.prepare t.kv ~txn:st.txn ~force:false (fun kv_vote ->
+      let v =
+        if t.profile.p_vote_no then Vote_no
+        else
+          match kv_vote with
+          | Kvstore.Vote_no -> Vote_no
+          | Kvstore.Vote_read_only when t.cfg.opts.read_only -> Vote_read_only
+          | Kvstore.Vote_read_only | Kvstore.Vote_yes ->
+              Vote_yes
+                {
+                  reliable = t.profile.p_reliable;
+                  leave_out_ok = t.profile.p_leave_out_ok;
+                }
+      in
+      (* a dual-coordinator detection may already have pinned a NO *)
+      if st.local_vote = None then begin
+        st.local_vote <- Some v;
+        maybe_all_votes_in t st
+      end)
+
+and votes_missing st =
+  st.local_vote = None
+  || List.exists
+       (fun ch -> ch.ch_vote = None && not ch.ch_last_agent)
+       st.children
+
+and maybe_all_votes_in t st =
+  (* one NO suffices: abort without waiting for the stragglers *)
+  let known_no =
+    st.local_vote = Some Vote_no
+    || List.exists (fun ch -> ch.ch_vote = Some Vote_no) st.children
+  in
+  if st.phase = Ph_voting && known_no then begin
+    cancel_timer t st.vote_timer;
+    st.vote_timer <- None;
+    on_voted_no t st
+  end
+  else if st.phase = Ph_voting && not (votes_missing st) then begin
+    cancel_timer t st.vote_timer;
+    st.vote_timer <- None;
+    let votes =
+      Option.get st.local_vote
+      :: List.filter_map (fun ch -> if ch.ch_last_agent then None else ch.ch_vote)
+           st.children
+    in
+    let any_no = List.mem Vote_no votes in
+    let all_read_only =
+      List.for_all (function Vote_read_only -> true | _ -> false) votes
+    in
+    if any_no then on_voted_no t st
+    else if st.delegator <> None then
+      (* a delegation receiver owns the decision: even with an all-read-only
+         subtree it must decide durably and report to its delegator *)
+      on_all_yes t st
+    else if all_read_only && st.parent <> None then vote_up_read_only t st
+    else if all_read_only && st.parent = None then
+      (* the whole tree is read-only: no second phase, nothing logged *)
+      complete_read_only_root t st
+    else on_all_yes t st
+  end
+
+(* A subordinate subtree that did nothing but read: vote read-only, write
+   nothing, release locks, and drop out of phase two. *)
+and vote_up_read_only t st =
+  trace t (Trace.Locks_released { time = now t; node = t.name });
+  send t ~dst:(Option.get st.parent)
+    [
+      Msg.Vote_msg
+        {
+          txn = st.txn;
+          vote = Vote_read_only;
+          delegation = false;
+          unsolicited = false;
+          implied_ack = false;
+        };
+    ];
+  end_txn t st Committed
+
+and complete_read_only_root t st =
+  st.outcome <- Some Committed;
+  trace t (Trace.Decide { time = now t; node = t.name; outcome = Committed });
+  trace t (Trace.Locks_released { time = now t; node = t.name });
+  root_complete t st Committed;
+  end_txn t st Committed
+
+and on_voted_no t st =
+  (* Tell the coordinator, then abort without waiting for anyone: a NO
+     voter owns its own abort. *)
+  (match st.parent with
+  | Some parent ->
+      send t ~dst:parent
+        [
+          Msg.Vote_msg
+            {
+              txn = st.txn;
+              vote = Vote_no;
+              delegation = false;
+              unsolicited = false;
+              implied_ack = false;
+            };
+        ]
+  | None -> ());
+  decide t st Aborted
+
+and on_all_yes t st =
+  let last_agent = List.find_opt (fun ch -> ch.ch_last_agent) st.children in
+  match (st.parent, st.delegator, last_agent) with
+  | None, None, None -> decide t st Committed (* plain root: decide *)
+  | _, _, Some agent ->
+      (* delegate the decision to the last agent (Figure 6) *)
+      delegate_to_last_agent t st agent
+  | Some parent, None, None -> vote_yes_up t st parent
+  | _, Some _, None ->
+      (* we are a last agent that received the delegation: we decide *)
+      decide t st Committed
+
+and delegate_to_last_agent t st agent =
+  let proceed () =
+    st.phase <- Ph_delegated;
+    let reliable =
+      t.profile.p_reliable
+      && List.for_all
+           (fun ch ->
+             ch.ch_last_agent
+             ||
+             match ch.ch_vote with
+             | Some (Vote_yes { reliable; _ }) -> reliable
+             | Some Vote_read_only -> true
+             | _ -> false)
+           st.children
+    in
+    send t ~dst:agent.ch_profile.p_name
+      [
+        Msg.Vote_msg
+          {
+            txn = st.txn;
+            vote = Vote_yes { reliable; leave_out_ok = false };
+            delegation = true;
+            unsolicited = false;
+            implied_ack = false;
+          };
+      ]
+  in
+  (* The delegating node must be durably prepared before giving the decision
+     away.  PN already forced commit-pending, which (with the buffered RM
+     records) is its durability point; PA/basic force a Prepared record. *)
+  if t.cfg.protocol = Presumed_nothing then proceed ()
+  else
+    tm_force t ~txn:st.txn Wal.Log_record.Prepared (fun () -> proceed ())
+
+and vote_yes_up t st parent =
+  let reliable =
+    t.profile.p_reliable
+    && List.for_all
+         (fun ch ->
+           match ch.ch_vote with
+           | Some (Vote_yes { reliable; _ }) -> reliable
+           | Some Vote_read_only -> true
+           | _ -> false)
+         st.children
+  in
+  let leave_out_ok =
+    t.profile.p_leave_out_ok
+    && List.for_all
+         (fun ch ->
+           match ch.ch_vote with
+           | Some (Vote_yes { leave_out_ok; _ }) -> leave_out_ok
+           | Some Vote_read_only -> true
+           | _ -> false)
+         st.children
+  in
+  (* A reliable *leaf* resource elides its acknowledgment entirely (its ack
+     is implied); a reliable cascaded coordinator still acknowledges, merely
+     early (Figure 8 shows both behaviours). *)
+  let elide_ack =
+    t.cfg.opts.vote_reliable && t.profile.p_reliable && st.children = []
+  in
+  let send_vote () =
+    if st.phase <> Ph_voting then ()
+      (* the transaction was resolved while the force was in flight
+         (e.g. a dual-initiation abort): do not send a stale YES *)
+    else if maybe_crash t Cp_after_prepared_log then ()
+    else begin
+      st.phase <- Ph_in_doubt;
+      st.sent_vote_reliable <- elide_ack;
+      send t ~dst:parent
+        [
+          Msg.Vote_msg
+            {
+              txn = st.txn;
+              vote = Vote_yes { reliable; leave_out_ok };
+              delegation = false;
+              unsolicited = false;
+              implied_ack = elide_ack;
+            };
+        ];
+      if maybe_crash t Cp_after_vote then ()
+      else begin
+        start_heuristic_timer t st;
+        start_indoubt_timer t st
+      end
+    end
+  in
+  (* PN subordinates durably record their acknowledgment obligation (the
+     agent record) in addition to the prepared record: Table 2 charges them
+     four writes, three forced. *)
+  if t.cfg.protocol = Presumed_nothing then
+    tm_force t ~txn:st.txn Wal.Log_record.Agent (fun () ->
+        tm_force t ~txn:st.txn Wal.Log_record.Prepared send_vote)
+  else tm_force t ~txn:st.txn Wal.Log_record.Prepared send_vote
+
+(* Unsolicited vote (leaf server that knows it is finished): prepare
+   spontaneously and send YES without waiting for Prepare. *)
+and begin_unsolicited t ~txn =
+  match t.parent_name with
+  | None -> invalid_arg "unsolicited vote requires a parent"
+  | Some parent ->
+      let st = get_or_new_txn t txn in
+      st.parent <- Some parent;
+      st.phase <- Ph_voting;
+      st.children <- [];
+      let elide_ack = t.cfg.opts.vote_reliable && t.profile.p_reliable in
+      Kvstore.prepare t.kv ~txn ~force:false (fun _kv_vote ->
+          tm_force t ~txn Wal.Log_record.Prepared (fun () ->
+              st.phase <- Ph_in_doubt;
+              st.sent_vote_reliable <- elide_ack;
+              st.local_vote <-
+                Some (Vote_yes { reliable = t.profile.p_reliable; leave_out_ok = false });
+              send t ~dst:parent
+                [
+                  Msg.Vote_msg
+                    {
+                      txn;
+                      vote =
+                        Vote_yes
+                          { reliable = t.profile.p_reliable; leave_out_ok = false };
+                      delegation = false;
+                      unsolicited = true;
+                      implied_ack = elide_ack;
+                    };
+                ];
+              start_heuristic_timer t st;
+              start_indoubt_timer t st))
+
+(* ------------------------------------------------------------------ *)
+(* Decision phase                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and decide t st outcome =
+  st.phase <- Ph_deciding;
+  st.outcome <- Some outcome;
+  trace t (Trace.Decide { time = now t; node = t.name; outcome });
+  if maybe_crash t Cp_before_decision_log then ()
+  else
+    match (outcome, t.cfg.protocol) with
+    | Committed, _ ->
+        tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
+            st.decision_durable <- true;
+            if not (maybe_crash t Cp_after_decision_log) then
+              after_decision_durable t st)
+    | Aborted, Presumed_abort ->
+        (* PA aborts log nothing at the decision maker *)
+        st.decision_durable <- true;
+        after_decision_durable t st
+    | Aborted, (Basic | Presumed_nothing) ->
+        tm_force t ~txn:st.txn Wal.Log_record.Aborted (fun () ->
+            st.decision_durable <- true;
+            if not (maybe_crash t Cp_after_decision_log) then
+              after_decision_durable t st)
+
+and after_decision_durable t st =
+  let outcome = Option.get st.outcome in
+  (* apply locally *)
+  apply_local t st outcome (fun () ->
+      propagate_decision t st outcome;
+      (* a last agent reports the decision back to its delegator *)
+      (match st.delegator with
+      | Some up ->
+          send t ~dst:up [ Msg.Decision_msg { txn = st.txn; outcome } ];
+          st.awaiting_implied_ack <- true
+      | None -> ());
+      maybe_finished t st)
+
+and apply_local t st outcome k =
+  match outcome with
+  | Committed ->
+      Kvstore.commit t.kv ~txn:st.txn ~force:false (fun () ->
+          trace t (Trace.Locks_released { time = now t; node = t.name });
+          k ())
+  | Aborted ->
+      Kvstore.abort t.kv ~txn:st.txn (fun () ->
+          trace t (Trace.Locks_released { time = now t; node = t.name });
+          k ())
+
+and decision_recipients st =
+  (* Commits flow to YES voters only: read-only voters left phase two, a
+     delegated last agent decided the outcome itself.  Aborts additionally
+     flow to members that never voted or voted NO (Table 2 charges the PA
+     abort-case coordinator two flows), releasing their resources. *)
+  List.filter
+    (fun ch ->
+      match Option.get st.outcome with
+      | Committed -> (
+          (not ch.ch_last_agent)
+          && match ch.ch_vote with Some (Vote_yes _) -> true | _ -> false)
+      | Aborted -> (
+          match ch.ch_vote with
+          | Some Vote_read_only -> false
+          | Some (Vote_yes _) | Some Vote_no | None -> true))
+    st.children
+
+and ack_expected_from t ch =
+  ignore t;
+  match Option.get ch.ch_vote with
+  | Vote_yes _ -> not ch.ch_implied_ack (* reliable leaf: its ack is implied *)
+  | Vote_read_only | Vote_no -> false
+
+and propagate_decision t st outcome =
+  let recipients = decision_recipients st in
+  List.iter
+    (fun ch ->
+      send t ~dst:ch.ch_profile.p_name
+        [ Msg.Decision_msg { txn = st.txn; outcome } ];
+      (match Option.get st.outcome with
+      | Committed when not (ack_expected_from t ch) -> ch.ch_acked <- true
+      | Aborted when t.cfg.protocol = Presumed_abort ->
+          (* PA: abort acknowledgments are not required *)
+          ch.ch_acked <- true
+      | Aborted when ch.ch_vote = None || ch.ch_vote = Some Vote_no ->
+          (* a member that never voted (or voted NO and forgot) cannot be in
+             doubt: the abort notification is fire-and-forget *)
+          ch.ch_acked <- true
+      | Committed | Aborted -> start_ack_retry t st ch))
+    recipients;
+  st.phase <- Ph_propagating;
+  (* early acknowledgment upstream, if the policy allows it *)
+  if st.parent <> None && not st.acked_up then begin
+    let all_children_reliable =
+      List.for_all
+        (fun ch ->
+          ch.ch_last_agent
+          ||
+          match ch.ch_vote with
+          | Some (Vote_yes { reliable; _ }) -> reliable
+          | Some Vote_read_only -> true
+          | Some Vote_no | None -> false)
+        st.children
+    in
+    if
+      t.cfg.opts.ack = Early_ack
+      || (t.cfg.opts.vote_reliable && all_children_reliable
+         && st.children <> [])
+    then send_ack_up t st
+  end
+
+and start_ack_retry t st ch =
+  sched_ t ~delay:t.cfg.retry_interval (fun () -> retry_child t st ch)
+
+and retry_child t st ch =
+  if (not ch.ch_acked) && st.phase = Ph_propagating then begin
+    ch.ch_retries <- ch.ch_retries + 1;
+    if t.cfg.opts.wait_for_outcome && ch.ch_retries >= 1 && not ch.ch_pending
+    then begin
+      (* one attempt made: stop blocking, resolve in the background *)
+      ch.ch_pending <- true;
+      st.pending <- true;
+      trace t
+        (Trace.Note
+           {
+             time = now t;
+             node = t.name;
+             text =
+               Printf.sprintf "outcome pending: %s unreachable, recovery in background"
+                 ch.ch_profile.p_name;
+           });
+      maybe_finished t st
+    end;
+    if ch.ch_retries <= t.cfg.max_retries then begin
+      send t ~dst:ch.ch_profile.p_name
+        [ Msg.Decision_msg { txn = st.txn; outcome = Option.get st.outcome } ];
+      start_ack_retry t st ch
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Completion                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and acks_outstanding t st =
+  ignore t;
+  List.exists
+    (fun ch -> (not ch.ch_acked) && not ch.ch_pending)
+    (decision_recipients st)
+
+and maybe_finished t st =
+  if st.phase = Ph_propagating && not (acks_outstanding t st) then begin
+    let outcome = Option.get st.outcome in
+    (* wait-for-outcome: children marked pending let the commit complete,
+       but the transaction stays open so background retries can still
+       resolve them (the END record waits for the real acknowledgments) *)
+    let background_pending =
+      List.exists
+        (fun ch -> ch.ch_pending && not ch.ch_acked)
+        (decision_recipients st)
+    in
+    match (st.parent, st.delegator) with
+    | None, None ->
+        (* root: tell the application, then forget *)
+        if not st.acked_up then begin
+          (* acked_up doubles as the "application informed" latch at the
+             root, which has nobody to acknowledge to *)
+          st.acked_up <- true;
+          root_complete t st outcome
+        end;
+        if not background_pending then finish_with_end t st
+    | _, Some _ ->
+        (* last agent: wait for the implied acknowledgment before END *)
+        if not st.awaiting_implied_ack then finish_with_end t st
+    | Some _, None ->
+        if st.acked_up then begin
+          if not background_pending then finish_with_end t st
+        end
+        else if st.long_locks_requested then defer_ack_long_locks t st
+        else if st.sent_vote_reliable && outcome = Committed then begin
+          (* our parent elided our ack: forget immediately *)
+          finish_with_end t st
+        end
+        else if outcome = Aborted && t.cfg.protocol = Presumed_abort then
+          (* PA: aborts are not acknowledged *)
+          end_txn t st outcome
+        else begin
+          if not (maybe_crash t Cp_before_ack) then begin
+            send_ack_up t st;
+            if not background_pending then finish_with_end t st
+          end
+        end
+  end
+
+and send_ack_up t st =
+  match st.parent with
+  | None -> ()
+  | Some parent ->
+      if not st.acked_up then begin
+        st.acked_up <- true;
+        (* Damage reporting: PN propagates subtree damage to the root;
+           PA reports only to the immediate coordinator, so the subtree
+           damage list was consumed where it was received and only damage
+           originating here travels up. *)
+        send t ~dst:parent
+          [ Msg.Ack_msg { txn = st.txn; damage = st.damage; pending = st.pending } ]
+      end
+
+and defer_ack_long_locks t st =
+  (* Long locks: hold the acknowledgment and piggyback it on the data
+     message that begins the next transaction (Figure 7).  In a
+     single-transaction run that data message is simulated after a think
+     time; in chained runs Stream provides the real one. *)
+  if not st.acked_up then begin
+    st.acked_up <- true;
+    trace t
+      (Trace.Note
+         {
+           time = now t;
+           node = t.name;
+           text = "long locks: ack deferred to next-transaction data";
+         });
+    let parent = Option.get st.parent in
+    sched_ t ~delay:t.cfg.implied_ack_delay (fun () ->
+        send t ~dst:parent
+          [
+            Msg.Data { txn = st.txn; info = "next-txn" };
+            Msg.Ack_msg { txn = st.txn; damage = st.damage; pending = st.pending };
+          ];
+        ());
+    finish_with_end t st
+  end
+
+and root_complete t st outcome =
+  trace t
+    (Trace.Complete { time = now t; node = t.name; outcome; pending = st.pending });
+  List.iter
+    (fun (d : Msg.damage_report) ->
+      trace t
+        (Trace.Damage_detected { time = now t; node = d.d_node; reported_to = t.name }))
+    st.damage;
+  match t.on_root_complete with
+  | Some f -> f outcome ~pending:st.pending
+  | None -> ()
+
+and finish_with_end t st =
+  (* The END record marks earlier state as forgettable; a presumed-abort
+     participant that logged nothing (PA abort case) has nothing to mark. *)
+  let logged_anything =
+    List.exists
+      (fun (r : Wal.Log_record.t) ->
+        r.txn = st.txn && r.node = t.name && Wal.Log_record.is_tm_record r)
+      (Wal.Log.all_records t.log)
+  in
+  if logged_anything then tm_append t ~txn:st.txn Wal.Log_record.End;
+  (* anyone who delegated the decision owes the last agent an implied
+     acknowledgment: the next transaction's data message releases its END *)
+  List.iter
+    (fun ch ->
+      if ch.ch_last_agent && Option.get st.outcome = Committed then
+        sched_ t ~delay:t.cfg.implied_ack_delay (fun () ->
+            send t ~dst:ch.ch_profile.p_name
+              [ Msg.Data { txn = st.txn; info = "next-txn" } ]))
+    st.children;
+  end_txn t st (Option.get st.outcome)
+
+and end_txn t st outcome =
+  st.phase <- Ph_ended;
+  cancel_timer t st.vote_timer;
+  cancel_timer t st.heuristic_timer;
+  cancel_timer t st.indoubt_timer;
+  (* OK-TO-LEAVE-OUT is a protected variable: it takes effect only if the
+     transaction commits.  A child whose YES carried the flag is now
+     suspended until we next send it work. *)
+  if outcome = Committed then
+    List.iter
+      (fun ch ->
+        match ch.ch_vote with
+        | Some (Vote_yes { leave_out_ok = true; _ }) ->
+            Hashtbl.replace t.suspended_children ch.ch_profile.p_name ()
+        | _ -> ())
+      st.children;
+  Hashtbl.replace t.ended st.txn outcome;
+  Hashtbl.remove t.txns st.txn
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic decisions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and start_heuristic_timer t st =
+  match t.profile.p_heuristic with
+  | Heuristic_never -> ()
+  | Heuristic_commit_after d -> arm_heuristic t st d Committed
+  | Heuristic_abort_after d -> arm_heuristic t st d Aborted
+
+and arm_heuristic t st delay action =
+  st.heuristic_timer <-
+    Some
+      (sched t ~delay (fun () ->
+           if st.phase = Ph_in_doubt && st.heuristic_action = None then begin
+             st.heuristic_action <- Some action;
+             trace t (Trace.Heuristic { time = now t; node = t.name; action });
+             let kind =
+               match action with
+               | Committed -> Wal.Log_record.Heuristic_commit
+               | Aborted -> Wal.Log_record.Heuristic_abort
+             in
+             tm_force t ~txn:st.txn kind (fun () ->
+                 apply_local t st action (fun () -> ()))
+           end))
+
+(* The subordinate side of recovery when the coordinator goes silent:
+   PA subordinates inquire (the coordinator may have no memory of the
+   transaction); PN subordinates wait for the coordinator to contact them. *)
+and start_indoubt_timer ?(attempt = 0) t st =
+  match t.parent_name with
+  | None -> ()
+  | Some parent ->
+      if attempt > t.cfg.max_retries then
+        trace t
+          (Trace.Note
+             {
+               time = now t;
+               node = t.name;
+               text = "in doubt: recovery attempts exhausted, still blocked";
+             })
+      else
+        st.indoubt_timer <-
+          Some
+            (sched t ~delay:t.cfg.retry_interval (fun () ->
+                 let still_current =
+                   match get_txn t st.txn with
+                   | Some current -> current == st
+                   | None -> false
+                 in
+                 if st.phase = Ph_in_doubt && still_current then begin
+                   (match t.cfg.protocol with
+                   | Presumed_abort | Basic ->
+                       send t ~dst:parent [ Msg.Inquiry { txn = st.txn } ]
+                   | Presumed_nothing ->
+                       trace t
+                         (Trace.Note
+                            {
+                              time = now t;
+                              node = t.name;
+                              text = "in doubt: awaiting coordinator recovery (PN)";
+                            }));
+                   start_indoubt_timer ~attempt:(attempt + 1) t st
+                 end))
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+and handle_prepare t ~src ~txn ~long_locks =
+  if Hashtbl.mem t.ended txn then
+    (* duplicate from a recovering coordinator: repeat our forgotten state *)
+    send t ~dst:src
+      [
+        Msg.Vote_msg
+          {
+            txn;
+            vote = Vote_no;
+            delegation = false;
+            unsolicited = false;
+            implied_ack = false;
+          };
+      ]
+  else begin
+    let st = get_or_new_txn t txn in
+    if st.phase = Ph_idle then begin
+      st.parent <- Some src;
+      st.long_locks_requested <- long_locks;
+      st.phase <- Ph_voting;
+      (* keep votes that arrived before the Prepare (unsolicited voters) *)
+      let early = st.children in
+      st.children <-
+        List.map
+          (fun ch ->
+            match
+              List.find_opt
+                (fun e -> e.ch_profile.p_name = ch.ch_profile.p_name)
+                early
+            with
+            | Some e -> e
+            | None -> ch)
+          (participating_children t);
+      if maybe_crash t Cp_on_prepare then ()
+      else if t.cfg.protocol = Presumed_nothing && st.children <> [] then
+        (* a PN cascaded coordinator logs commit-pending before
+           propagating Prepare (Figure 3) *)
+        tm_force t ~txn Wal.Log_record.Commit_pending (fun () ->
+            start_phase1 t st)
+      else start_phase1 t st
+    end
+    else if st.parent <> Some src then begin
+      (* Two participants initiated commit processing independently for the
+         same transaction: two TMs would own the decision, so the
+         transaction aborts (Section 3, PN design; the hazard behind the
+         restricted leave-out rule of Figure 5). *)
+      trace t
+        (Trace.Note
+           {
+             time = now t;
+             node = t.name;
+             text =
+               Printf.sprintf
+                 "dual commit initiation detected (%s and %s): aborting"
+                 (match st.parent with Some p -> p | None -> t.name)
+                 src;
+           });
+      send t ~dst:src
+        [
+          Msg.Vote_msg
+            {
+            txn;
+            vote = Vote_no;
+            delegation = false;
+            unsolicited = false;
+            implied_ack = false;
+          };
+        ];
+      if st.phase = Ph_voting then begin
+        st.local_vote <- Some Vote_no;
+        maybe_all_votes_in t st
+      end
+    end
+  end
+
+and handle_vote t ~src ~txn vote ~delegation ~unsolicited ~implied_ack =
+  ignore unsolicited;
+  if delegation then handle_delegation t ~src ~txn vote
+  else
+    let st = get_or_new_txn t txn in
+    (match List.find_opt (fun ch -> ch.ch_profile.p_name = src) st.children with
+    | Some ch ->
+        ch.ch_vote <- Some vote;
+        ch.ch_implied_ack <- implied_ack
+    | None ->
+        (* an unsolicited vote can arrive before we even know the
+           transaction (our own Prepare is still on its way to us):
+           remember it by materializing the child entry *)
+        (match List.find_opt (fun p -> p.p_name = src) t.child_profiles with
+        | Some p ->
+            st.children <-
+              {
+                ch_profile = p;
+                ch_vote = Some vote;
+                ch_implied_ack = implied_ack;
+                ch_acked = false;
+                ch_last_agent = false;
+                ch_pending = false;
+                ch_retries = 0;
+              }
+              :: st.children
+        | None -> () (* vote from a stranger: drop *)));
+    maybe_all_votes_in t st
+
+(* Receiving the coordinator's own YES vote with the decision delegated to
+   us: we are the last agent.  Run our own voting phase (we may have
+   subordinates and may delegate further), then decide. *)
+and handle_delegation t ~src ~txn vote =
+  match vote with
+  | Vote_no | Vote_read_only ->
+      (* a delegating coordinator always votes YES *)
+      ()
+  | Vote_yes _ ->
+      if Hashtbl.mem t.ended txn then
+        (* duplicate delegation: repeat the outcome *)
+        send t ~dst:src
+          [ Msg.Decision_msg { txn; outcome = Hashtbl.find t.ended txn } ]
+      else begin
+        let st = get_or_new_txn t txn in
+        if st.phase = Ph_idle then begin
+          st.delegator <- Some src;
+          st.phase <- Ph_voting;
+          st.children <- participating_children t;
+          start_phase1 t st
+        end
+      end
+
+and handle_decision t ~src ~txn outcome =
+  match get_txn t txn with
+  | None ->
+      (* Either we finished already (coordinator retransmission) or we never
+         voted (an abort reaching a not-yet-prepared member, or recovery
+         contacting every static child). *)
+      let first_time = not (Hashtbl.mem t.ended txn) in
+      if first_time then Hashtbl.replace t.ended txn outcome;
+      if first_time && outcome = Aborted then
+        (* roll back any uncommitted work and release its locks *)
+        Kvstore.abort t.kv ~txn (fun () -> ());
+      (* PA aborts are not acknowledged; everything else is, so that a
+         retrying coordinator can forget the transaction. *)
+      if not (outcome = Aborted && t.cfg.protocol = Presumed_abort) then
+        send t ~dst:src [ Msg.Ack_msg { txn; damage = []; pending = false } ]
+  | Some st -> (
+      match st.phase with
+      | Ph_in_doubt | Ph_voting -> subordinate_decision t st outcome
+      | Ph_delegated -> delegator_decision t st outcome
+      | Ph_propagating | Ph_deciding | Ph_ended | Ph_idle -> ())
+
+(* A subordinate learns the outcome. *)
+and subordinate_decision t st outcome =
+  cancel_timer t st.heuristic_timer;
+  cancel_timer t st.indoubt_timer;
+  cancel_timer t st.vote_timer;
+  st.outcome <- Some outcome;
+  match st.heuristic_action with
+  | Some action ->
+      (* the decision arrived after we lost patience *)
+      resolve_heuristic t st ~action ~outcome
+  | None ->
+      if maybe_crash t Cp_after_decision_received then ()
+      else begin
+        st.phase <- Ph_deciding;
+        (match (outcome, t.cfg.protocol) with
+        | Committed, _ ->
+            tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
+                st.decision_durable <- true;
+                subordinate_apply t st outcome)
+        | Aborted, Presumed_abort ->
+            (* no forced abort record before acknowledging (PA) *)
+            tm_append t ~txn:st.txn Wal.Log_record.Aborted;
+            st.decision_durable <- true;
+            subordinate_apply t st outcome
+        | Aborted, (Basic | Presumed_nothing) ->
+            tm_force t ~txn:st.txn Wal.Log_record.Aborted (fun () ->
+                st.decision_durable <- true;
+                subordinate_apply t st outcome))
+      end
+
+and subordinate_apply t st outcome =
+  apply_local t st outcome (fun () ->
+      propagate_decision t st outcome;
+      maybe_finished t st)
+
+and resolve_heuristic t st ~action ~outcome =
+  if action <> outcome then begin
+    let report =
+      { Msg.d_node = t.name; d_action = action; d_outcome = outcome }
+    in
+    st.damage <- report :: st.damage;
+    if st.sent_vote_reliable then
+      (* Table 1's vote-reliable disadvantage: with the ack elided there is
+         no channel to report the damage; it is lost *)
+      trace t
+        (Trace.Damage_detected { time = now t; node = t.name; reported_to = "" })
+  end;
+  tm_append t ~txn:st.txn
+    (match outcome with
+    | Committed -> Wal.Log_record.Committed
+    | Aborted -> Wal.Log_record.Aborted);
+  st.decision_durable <- true;
+  st.phase <- Ph_propagating;
+  (* local state already (heuristically) resolved; propagate the real
+     outcome so the subtree converges and damage reports surface *)
+  propagate_decision t st outcome;
+  maybe_finished t st
+
+(* The delegating coordinator hears the outcome from its last agent. *)
+and delegator_decision t st outcome =
+  st.outcome <- Some outcome;
+  trace t (Trace.Decide { time = now t; node = t.name; outcome });
+  st.phase <- Ph_deciding;
+  match (outcome, t.cfg.protocol) with
+  | Committed, _ ->
+      tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
+          st.decision_durable <- true;
+          delegator_apply t st outcome)
+  | Aborted, Presumed_abort ->
+      st.decision_durable <- true;
+      delegator_apply t st outcome
+  | Aborted, (Basic | Presumed_nothing) ->
+      tm_force t ~txn:st.txn Wal.Log_record.Aborted (fun () ->
+          st.decision_durable <- true;
+          delegator_apply t st outcome)
+
+and delegator_apply t st outcome =
+  apply_local t st outcome (fun () ->
+      propagate_decision t st outcome;
+      (match st.delegator with
+      | Some up ->
+          (* we were a last agent ourselves: pass the outcome up the
+             delegation chain *)
+          send t ~dst:up [ Msg.Decision_msg { txn = st.txn; outcome } ];
+          st.awaiting_implied_ack <- true
+      | None -> ());
+      maybe_finished t st)
+
+and handle_ack t ~src ~txn ~damage ~pending =
+  match get_txn t txn with
+  | None -> ()
+  | Some st -> (
+      match List.find_opt (fun ch -> ch.ch_profile.p_name = src) st.children with
+      | None -> ()
+      | Some ch ->
+          if not ch.ch_acked then begin
+            ch.ch_acked <- true;
+            if ch.ch_pending && not pending then
+              trace t
+                (Trace.Note
+                   {
+                     time = now t;
+                     node = t.name;
+                     text =
+                       Printf.sprintf "background recovery with %s resolved"
+                         ch.ch_profile.p_name;
+                   });
+            if pending then st.pending <- true;
+            (match (damage, t.cfg.protocol) with
+            | [], _ -> ()
+            | reports, Presumed_nothing ->
+                (* PN: forward damage to the root *)
+                st.damage <- reports @ st.damage
+            | reports, (Presumed_abort | Basic) ->
+                (* PA/R*: damage is reported to the immediate coordinator
+                   (and its operator) only *)
+                List.iter
+                  (fun (d : Msg.damage_report) ->
+                    trace t
+                      (Trace.Damage_detected
+                         { time = now t; node = d.d_node; reported_to = t.name }))
+                  reports);
+            maybe_finished t st
+          end)
+
+(* Application data beginning the next piece of work doubles as the implied
+   acknowledgment for whatever outcome the receiver still remembers. *)
+and handle_data t ~src ~txn ~info =
+  ignore src;
+  ignore info;
+  match get_txn t txn with
+  | None -> ()
+  | Some st ->
+      if st.awaiting_implied_ack then begin
+        st.awaiting_implied_ack <- false;
+        if st.phase = Ph_propagating && not (acks_outstanding t st) then
+          finish_with_end t st
+      end
+
+and handle_inquiry t ~src ~txn =
+  let reply outcome =
+    send t ~dst:src [ Msg.Inquiry_reply { txn; outcome } ]
+  in
+  match get_txn t txn with
+  | Some st -> (
+      match st.outcome with
+      | Some o when st.decision_durable -> reply (Some o)
+      | _ -> () (* still deciding: the normal flow will reach them *))
+  | None -> (
+      match Hashtbl.find_opt t.ended txn with
+      | Some o -> reply (Some o)
+      | None -> (
+          (* consult the durable log *)
+          let records = Wal.Log.records_for t.log ~txn in
+          let has k =
+            List.exists (fun (r : Wal.Log_record.t) -> r.kind = k && r.node = t.name) records
+          in
+          if has Wal.Log_record.Committed then reply (Some Committed)
+          else if has Wal.Log_record.Aborted then reply (Some Aborted)
+          else
+            (* no information: PA presumes abort; basic 2PC's recovery answer
+               for an unlogged coordinator is abort as well; PN aborts too
+               because an interrupted commit-pending coordinator aborts *)
+            reply None))
+
+and handle_inquiry_reply t ~txn outcome =
+  match get_txn t txn with
+  | None -> ()
+  | Some st ->
+      if st.phase = Ph_in_doubt then begin
+        let o = match outcome with Some o -> o | None -> Aborted in
+        trace t
+          (Trace.Note
+             {
+               time = now t;
+               node = t.name;
+               text =
+                 (match outcome with
+                 | Some _ -> "recovery: outcome learned by inquiry"
+                 | None -> "recovery: no information - presuming abort");
+             });
+        subordinate_decision t st o
+      end
+
+and handle_payload t ~src = function
+  | Msg.Prepare { txn; long_locks } -> handle_prepare t ~src ~txn ~long_locks
+  | Msg.Vote_msg { txn; vote; delegation; unsolicited; implied_ack } ->
+      handle_vote t ~src ~txn vote ~delegation ~unsolicited ~implied_ack
+  | Msg.Decision_msg { txn; outcome } -> handle_decision t ~src ~txn outcome
+  | Msg.Ack_msg { txn; damage; pending } -> handle_ack t ~src ~txn ~damage ~pending
+  | Msg.Data { txn; info } -> handle_data t ~src ~txn ~info
+  | Msg.Inquiry { txn } -> handle_inquiry t ~src ~txn
+  | Msg.Inquiry_reply { txn; outcome } -> handle_inquiry_reply t ~txn outcome
+
+and handler t ~src payloads =
+  if not t.crashed then List.iter (handle_payload t ~src) payloads
+
+(* ------------------------------------------------------------------ *)
+(* Restart and log-driven recovery                                     *)
+(* ------------------------------------------------------------------ *)
+
+and restart t =
+  t.crashed <- false;
+  t.epoch <- t.epoch + 1;
+  trace t (Trace.Restart { time = now t; node = t.name });
+  Net.restart_node t.net t.name;
+  Kvstore.recover t.kv;
+  (* Reconstruct protocol obligations from the durable log. *)
+  let mine =
+    List.filter
+      (fun (r : Wal.Log_record.t) -> r.node = t.name && Wal.Log_record.is_tm_record r)
+      (Wal.Log.durable t.log)
+  in
+  let by_txn = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Wal.Log_record.t) ->
+      let l = try Hashtbl.find by_txn r.txn with Not_found -> [] in
+      Hashtbl.replace by_txn r.txn (r.kind :: l))
+    mine;
+  Hashtbl.iter (fun txn kinds -> recover_txn t ~txn ~kinds) by_txn
+
+and recover_txn t ~txn ~kinds =
+  let has k = List.mem k kinds in
+  if has Wal.Log_record.End then () (* fully finished *)
+  else if has Wal.Log_record.Committed then resume_propagation t ~txn Committed
+  else if has Wal.Log_record.Aborted then resume_propagation t ~txn Aborted
+  else if has Wal.Log_record.Prepared then resume_in_doubt t ~txn
+  else if has Wal.Log_record.Commit_pending then
+    (* PN coordinator interrupted before deciding: abort and drive the
+       subordinates (coordinator-initiated recovery) *)
+    resume_pn_abort t ~txn
+  else if has Wal.Log_record.Heuristic_commit || has Wal.Log_record.Heuristic_abort
+  then () (* heuristic state already resolved locally; nothing to drive *)
+
+(* An outcome is durable but END is missing: some subordinate may not have
+   heard it.  Re-drive phase two toward every static child. *)
+and resume_propagation t ~txn outcome =
+  let st = new_txn_state t txn in
+  st.phase <- Ph_propagating;
+  st.outcome <- Some outcome;
+  st.decision_durable <- true;
+  st.parent <- t.parent_name;
+  st.children <-
+    List.map
+      (fun p ->
+        {
+          ch_profile = p;
+          (* votes were lost with volatile state; assume YES so that every
+             child is re-contacted and acknowledgments are re-collected *)
+          ch_vote = Some (Vote_yes { reliable = false; leave_out_ok = false });
+          ch_implied_ack = false;
+          ch_acked = false;
+          ch_last_agent = false;
+          ch_pending = false;
+          ch_retries = 0;
+        })
+      t.child_profiles;
+  trace t
+    (Trace.Note
+       {
+         time = now t;
+         node = t.name;
+         text =
+           Printf.sprintf "recovery: re-driving %s of %s"
+             (outcome_to_string outcome) txn;
+       });
+  (* Local resource state was rebuilt by Kvstore.recover; if this node's RM
+     is still in doubt it must be resolved with the known outcome. *)
+  if List.mem txn (Kvstore.in_doubt t.kv) then
+    apply_local t st outcome (fun () -> ())
+  ;
+  if st.children = [] then begin
+    (* leaf: only the upstream acknowledgment is owed *)
+    if st.parent <> None then begin
+      send_ack_up t st;
+      finish_with_end t st
+    end
+    else finish_with_end t st
+  end
+  else begin
+    propagate_decision t st outcome;
+    maybe_finished t st
+  end
+
+and resume_in_doubt t ~txn =
+  let st = new_txn_state t txn in
+  st.phase <- Ph_in_doubt;
+  st.parent <- t.parent_name;
+  (* assume every static child voted YES so that the eventual decision is
+     re-propagated through us *)
+  st.children <-
+    List.map
+      (fun p ->
+        {
+          ch_profile = p;
+          ch_vote = Some (Vote_yes { reliable = false; leave_out_ok = false });
+          ch_implied_ack = false;
+          ch_acked = false;
+          ch_last_agent = false;
+          ch_pending = false;
+          ch_retries = 0;
+        })
+      t.child_profiles;
+  trace t
+    (Trace.Note
+       { time = now t; node = t.name; text = "recovery: in doubt after restart" });
+  (match t.cfg.protocol with
+  | Presumed_abort | Basic -> (
+      match t.parent_name with
+      | Some parent -> send t ~dst:parent [ Msg.Inquiry { txn } ]
+      | None -> subordinate_decision t st Aborted)
+  | Presumed_nothing -> ());
+  start_heuristic_timer t st;
+  start_indoubt_timer t st
+
+and resume_pn_abort t ~txn =
+  trace t
+    (Trace.Note
+       {
+         time = now t;
+         node = t.name;
+         text = "PN recovery: commit-pending without outcome - aborting";
+       });
+  let st = new_txn_state t txn in
+  st.phase <- Ph_deciding;
+  st.parent <- t.parent_name;
+  st.children <-
+    List.map
+      (fun p ->
+        {
+          ch_profile = p;
+          ch_vote = Some (Vote_yes { reliable = false; leave_out_ok = false });
+          ch_implied_ack = false;
+          ch_acked = false;
+          ch_last_agent = false;
+          ch_pending = false;
+          ch_retries = 0;
+        })
+      t.child_profiles;
+  decide t st Aborted
+
+let attach t = Net.add_node t.net t.name (fun ~src payloads -> handler t ~src payloads)
+
+let force_crash t = crash t
+let force_restart t = restart t

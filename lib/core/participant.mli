@@ -1,0 +1,72 @@
+(** Per-node two-phase-commit state machine.
+
+    A participant is one member of the commit tree: a transaction manager
+    plus its local resource manager.  It implements the baseline protocol,
+    Presumed Abort and Presumed Nothing, and all of the paper's
+    optimizations, reacting to network deliveries, log-force completions
+    and timers on the shared virtual clock.
+
+    Most users drive participants through {!Run}; the functions here are
+    the building blocks for custom topologies (see {!Scenarios.figure5}
+    for a hand-wired example). *)
+
+type t
+
+val create :
+  engine:Simkernel.Engine.t ->
+  net:Net.t ->
+  trace:Trace.t ->
+  cfg:Types.config ->
+  profile:Types.profile ->
+  parent:string option ->
+  child_profiles:Types.profile list ->
+  wal:Wal.Log.t ->
+  kv:Kvstore.t ->
+  t
+(** Build a participant.  [parent] is the statically expected coordinator
+    (used by subordinate-initiated recovery); [child_profiles] are the
+    immediate children in the commit tree. *)
+
+val attach : t -> unit
+(** Register the participant's message handler with the network.  Must be
+    called exactly once per participant before any commit begins. *)
+
+val name : t -> string
+val kv : t -> Kvstore.t
+val log : t -> Wal.Log.t
+val is_crashed : t -> bool
+
+val set_on_root_complete : t -> (Types.outcome -> pending:bool -> unit) -> unit
+(** Callback fired when this participant, acting as root coordinator,
+    reports the outcome to its application ([pending] is the
+    wait-for-outcome "recovery still in progress" indication). *)
+
+val begin_commit : t -> txn:string -> unit
+(** Initiate commit processing for [txn] with this participant as the
+    (root) coordinator.  Under Presumed Nothing this forces the
+    commit-pending record before any Prepare flows. *)
+
+val begin_unsolicited : t -> txn:string -> unit
+(** Unsolicited-vote entry point: the participant prepares itself and
+    sends an unsolicited YES to its parent without waiting for a Prepare.
+    Raises [Invalid_argument] on a participant with no parent. *)
+
+val note_idle_child : t -> child:string -> unit
+(** Declare that [child] exchanged no data with this member during the
+    current transaction.  Together with a suspension recorded from the
+    child's previous committed OK-TO-LEAVE-OUT vote, this lets
+    the participant leave the child out of the next commit (the dynamic
+    leave-out protocol; see {!Run.commit_sequence}). *)
+
+val clear_idle_children : t -> unit
+val is_suspended : t -> child:string -> bool
+
+val force_crash : t -> unit
+(** Crash the node immediately: volatile log tail, resource-manager cache
+    and all in-memory protocol state are lost; inbound messages drop. *)
+
+val force_restart : t -> unit
+(** Restart after a crash: recover the resource manager from the durable
+    log and resume protocol obligations (re-drive logged outcomes, inquire
+    about in-doubt transactions under PA, abort dangling PN
+    commit-pending coordinations). *)

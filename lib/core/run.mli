@@ -1,0 +1,76 @@
+(** Orchestration: build a simulated transaction-processing complex for a
+    commit tree, give every member work, run two-phase commits to
+    quiescence and summarize the results. *)
+
+(** One member's runtime pieces. *)
+type node = {
+  participant : Participant.t;
+  wal : Wal.Log.t;
+  kv : Kvstore.t;
+  profile : Types.profile;
+}
+
+(** A built complex: engine, network, shared trace and all members. *)
+type world = {
+  engine : Simkernel.Engine.t;
+  net : Net.t;
+  trace : Trace.t;
+  cfg : Types.config;
+  tree : Types.tree;
+  nodes : (string * node) list;  (** tree order, root first *)
+  root : string;
+  mutable outcome : Types.outcome option;
+      (** what the root reported to its application, once it has *)
+  mutable pending : bool;
+      (** wait-for-outcome: completion carried "outcome pending" *)
+}
+
+val setup : ?config:Types.config -> Types.tree -> world
+(** Build the complex: one participant, write-ahead log and key-value
+    resource manager per member.  With the shared-log optimization enabled,
+    members flagged [p_shares_parent_log] reuse their parent's log. *)
+
+val node : world -> string -> node
+val participant : world -> string -> Participant.t
+val kv : world -> string -> Kvstore.t
+val root_node : world -> node
+val all_wals : world -> Wal.Log.t list
+
+val perform_work : world -> txn:string -> unit
+(** Default workload: every updated member writes one record (holding an
+    exclusive lock until the commit releases it); read-only members read
+    one; left-out members touch nothing. *)
+
+val commit : ?txn:string -> world -> Metrics.t
+(** [commit w] performs the default work, triggers unsolicited voters,
+    starts commit processing at the root and runs the engine to
+    quiescence.  [txn] defaults to ["txn-1"]. *)
+
+val commit_tree :
+  ?config:Types.config -> ?txn:string -> Types.tree -> Metrics.t * world
+(** [setup] + [commit] in one step. *)
+
+(** What one member does during one transaction of a sequence. *)
+type work = Work_update | Work_read | Work_none
+
+val commit_sequence :
+  ?config:Types.config ->
+  work:(txn:string -> node:string -> work) ->
+  txns:string list ->
+  Types.tree ->
+  (string * Metrics.t) list * world
+(** Run several transactions through the same complex under a per-member,
+    per-transaction work assignment.  This is where the dynamic
+    OK-TO-LEAVE-OUT protocol operates: a member whose committed YES carried
+    the leave-out flag is suspended, and when the workload gives its whole
+    subtree nothing to do in a later transaction, its parent leaves it out
+    of that commit.  The shared trace is cleared between transactions, so
+    each returned {!Metrics.t} covers exactly one commit. *)
+
+val committed_states : world -> (string * (string * string) list) list
+(** Committed key/value bindings per member (sorted), for atomicity
+    checks. *)
+
+val consistent : world -> txn:string -> outcome:Types.outcome -> bool
+(** True when every updated member's data reflects [outcome]: the update
+    visible after a commit, absent after an abort. *)

@@ -1,0 +1,46 @@
+(** Canned runs that regenerate the paper's Figures 1-8 as
+    message-sequence traces. *)
+
+type t = {
+  sc_id : string;           (** e.g. ["figure-3"] *)
+  sc_title : string;        (** the paper's caption *)
+  sc_description : string;
+  sc_nodes : string list;   (** column order for the sequence diagram *)
+  sc_trace : Trace.t;
+  sc_metrics : Metrics.t option;  (** present for single-commit scenarios *)
+}
+
+val figure1 : unit -> t
+(** Simple two-phase commit processing (one coordinator, one subordinate). *)
+
+val figure2 : unit -> t
+(** 2PC with a cascaded (intermediate) coordinator. *)
+
+val figure3 : unit -> t
+(** Presumed Nothing with an intermediate coordinator: commit-pending
+    records forced at the root and the cascaded coordinator. *)
+
+val figure4 : unit -> t
+(** Partial read-only: the read-only voter leaves phase two. *)
+
+val figure5 : unit -> t
+(** The leave-out hazard: two programs independently initiate commit for
+    the same transaction; the common member detects dual coordination and
+    the transaction aborts. *)
+
+val figure6 : unit -> t
+(** Last-agent commit processing. *)
+
+val figure7 : unit -> t
+(** Long locks over chained transactions (two transactions shown). *)
+
+val figure8 : unit -> t
+(** All resources voted reliable: early acknowledgment at the cascaded
+    coordinator, implied acknowledgment from the reliable leaf. *)
+
+val all : unit -> t list
+(** All eight figures, in order. *)
+
+val render : t -> string
+(** Title, description, ASCII sequence diagram and (when available) the
+    run's metrics. *)

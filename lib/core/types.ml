@@ -1,0 +1,163 @@
+(** Shared vocabulary of the 2PC protocol engine. *)
+
+(** Which commit protocol family a run uses (Sections 2 and 3 of the paper). *)
+type protocol =
+  | Basic  (** the baseline 2PC of Figure 1 *)
+  | Presumed_abort  (** PA: no information at coordinator means abort *)
+  | Presumed_nothing
+      (** PN: coordinator force-logs commit-pending before Prepare and owns
+          recovery and heuristic-damage reporting *)
+
+type outcome = Committed | Aborted
+
+(** A subordinate's vote.  [reliable] and [leave_out_ok] are the protected
+    variables carried on a YES vote (Sections 4 "Vote Reliable" and
+    "Leaving Inactive Partners Out"). *)
+type vote =
+  | Vote_yes of { reliable : bool; leave_out_ok : bool }
+  | Vote_read_only
+  | Vote_no
+
+type ack_policy =
+  | Early_ack  (** ack as soon as locally committed, propagation in progress *)
+  | Late_ack   (** ack only after the whole subtree acknowledged *)
+
+(** Optimization switches for a run.  Each switch corresponds to one
+    optimization of Section 4; they compose freely. *)
+type opts = {
+  read_only : bool;       (** allow read-only votes and phase-2 exclusion *)
+  last_agent : bool;      (** delegate the decision to the last subordinate *)
+  unsolicited_vote : bool;(** self-prepared servers vote without Prepare *)
+  leave_out : bool;       (** exclude suspended OK-TO-LEAVE-OUT subtrees *)
+  shared_log : bool;      (** colocated LRM members skip their own forces *)
+  long_locks : bool;      (** ack piggybacks on next-transaction data *)
+  ack : ack_policy;
+  vote_reliable : bool;   (** reliable voters use implied acks *)
+  wait_for_outcome : bool;(** one recovery attempt, then "outcome pending" *)
+}
+
+let no_opts =
+  {
+    read_only = false;
+    last_agent = false;
+    unsolicited_vote = false;
+    leave_out = false;
+    shared_log = false;
+    long_locks = false;
+    ack = Late_ack;
+    vote_reliable = false;
+    wait_for_outcome = false;
+  }
+
+(** When an in-doubt participant loses patience (Section 1: heuristic
+    decisions are "a practical necessity in the commercial environment"). *)
+type heuristic_policy =
+  | Heuristic_never
+  | Heuristic_commit_after of float
+  | Heuristic_abort_after of float
+
+(** Crash-injection points inside the commit protocol, named from the
+    perspective of the crashing node. *)
+type crash_point =
+  | Cp_on_prepare          (** subordinate: Prepare received, nothing logged *)
+  | Cp_after_prepared_log  (** subordinate: Prepared durable, vote not sent *)
+  | Cp_after_vote          (** subordinate: in doubt *)
+  | Cp_before_decision_log (** coordinator: decided, nothing durable *)
+  | Cp_after_decision_log  (** coordinator: outcome durable, nothing sent *)
+  | Cp_after_decision_received (** subordinate: outcome known, not yet durable *)
+  | Cp_before_ack          (** subordinate: locally finished, ack unsent *)
+  | Cp_after_commit_pending (** PN coordinator: commit-pending durable *)
+
+type fault = {
+  f_node : string;
+  f_point : crash_point;
+  f_restart_after : float option;  (** [None] = stays down forever *)
+}
+
+(** Static description of one commit-tree member. *)
+type profile = {
+  p_name : string;
+  p_updated : bool;       (** performed updates: not eligible for read-only *)
+  p_reliable : bool;      (** LRM declares heuristics vanishingly unlikely *)
+  p_leave_out_ok : bool;  (** pure server: may be suspended and left out *)
+  p_left_out : bool;      (** this transaction: did no work, gets left out *)
+  p_unsolicited : bool;   (** votes without waiting for Prepare *)
+  p_vote_no : bool;       (** forced NO vote (abort-path testing) *)
+  p_shares_parent_log : bool; (** colocated LRM member (shared-log opt) *)
+  p_long_locks : bool;    (** defers its ack onto next-transaction data *)
+  p_heuristic : heuristic_policy;
+}
+
+let member ?(updated = true) ?(reliable = false) ?(leave_out_ok = false)
+    ?(left_out = false) ?(unsolicited = false) ?(vote_no = false)
+    ?(shares_parent_log = false) ?(long_locks = false)
+    ?(heuristic = Heuristic_never) name =
+  {
+    p_name = name;
+    p_updated = updated;
+    p_reliable = reliable;
+    p_leave_out_ok = leave_out_ok;
+    p_left_out = left_out;
+    p_unsolicited = unsolicited;
+    p_vote_no = vote_no;
+    p_shares_parent_log = shares_parent_log;
+    p_long_locks = long_locks;
+    p_heuristic = heuristic;
+  }
+
+(** Commit tree: root is the commit coordinator. *)
+type tree = Tree of profile * tree list
+
+let rec tree_size (Tree (_, children)) =
+  1 + List.fold_left (fun acc c -> acc + tree_size c) 0 children
+
+let rec tree_members (Tree (p, children)) =
+  p :: List.concat_map tree_members children
+
+let tree_profile (Tree (p, _)) = p
+
+(** Per-run protocol configuration. *)
+type config = {
+  protocol : protocol;
+  opts : opts;
+  latency : float;          (** default network latency between members *)
+  io_latency : float;       (** one physical log force *)
+  group_commit : Wal.Log.group option;
+  faults : fault list;
+  retry_interval : float;   (** decision/ack retransmission period *)
+  max_retries : int;        (** bound on automatic retransmissions *)
+  implied_ack_delay : float;
+      (** think time before the "next transaction" data message that carries
+          implied and long-locks acknowledgments in single-transaction runs *)
+}
+
+let default_config =
+  {
+    protocol = Presumed_abort;
+    opts = no_opts;
+    latency = 1.0;
+    io_latency = 0.5;
+    group_commit = None;
+    faults = [];
+    (* generous relative to the default latencies so that retransmission and
+       in-doubt inquiry never fire during a healthy commit, even over deep
+       delegation chains *)
+    retry_interval = 150.0;
+    max_retries = 40;
+    implied_ack_delay = 2.0;
+  }
+
+let protocol_to_string = function
+  | Basic -> "basic-2pc"
+  | Presumed_abort -> "presumed-abort"
+  | Presumed_nothing -> "presumed-nothing"
+
+let outcome_to_string = function Committed -> "commit" | Aborted -> "abort"
+
+let vote_to_string = function
+  | Vote_yes { reliable; leave_out_ok } ->
+      Printf.sprintf "yes%s%s"
+        (if reliable then "+reliable" else "")
+        (if leave_out_ok then "+leave-out-ok" else "")
+  | Vote_read_only -> "read-only"
+  | Vote_no -> "no"

@@ -1,0 +1,98 @@
+(** Key-value local resource manager (LRM).
+
+    Plays the role the paper assigns to "local resource managers, such as
+    database and file managers": it owns data, takes locks, writes undo/redo
+    information to a write-ahead log, and answers Prepare / Commit / Abort
+    from its transaction manager.  It supports the LRM-side properties the
+    optimizations depend on: read-only detection (no updates performed),
+    the {e reliable} declaration for Vote Reliable, and non-forced logging
+    when sharing the TM's log.
+
+    Crash/recovery: [crash] wipes volatile state (committed cache and write
+    sets); [recover] rebuilds from the durable log - committed transactions
+    are redone, transactions with a durable [Rm_prepared] but no outcome
+    record become {e in-doubt} and await their TM's instruction. *)
+
+type t
+
+type vote = Vote_yes | Vote_read_only | Vote_no
+
+val create :
+  Simkernel.Engine.t ->
+  name:string ->
+  wal:Wal.Log.t ->
+  ?locks:Lockmgr.t ->
+  ?reliable:bool ->
+  unit ->
+  t
+(** [locks] defaults to a private lock table; pass a shared one to observe
+    cross-transaction contention.  [reliable] (default [false]) is the
+    Vote-Reliable declaration. *)
+
+val name : t -> string
+val wal : t -> Wal.Log.t
+val locks : t -> Lockmgr.t
+val is_reliable : t -> bool
+
+(** {2 Transaction-time operations} *)
+
+val get : t -> txn:string -> string -> string option
+(** Read under a shared lock; sees the transaction's own uncommitted writes.
+    Returns [None] also when the lock is unavailable - use [can_lock] to
+    distinguish. *)
+
+val put : t -> txn:string -> key:string -> value:string -> bool
+(** Write under an exclusive lock, logging an undo/redo record (non-forced;
+    durability comes from the prepare force).  [false] if the lock is held
+    by another transaction. *)
+
+val delete : t -> txn:string -> key:string -> bool
+
+val put_async :
+  t -> txn:string -> key:string -> value:string -> granted:(unit -> unit) -> unit
+(** Queued write: waits (FIFO) for the exclusive lock instead of failing.
+    [granted] fires once the lock is held and the write is buffered -
+    possibly immediately.  Used by contention experiments where a
+    transaction must block behind the commit protocol's lock release. *)
+
+val can_lock : t -> txn:string -> key:string -> Lockmgr.mode -> bool
+
+val is_updated : t -> txn:string -> bool
+(** Has this transaction performed any update here?  (Read-only detection.) *)
+
+(** {2 Commit protocol entry points} *)
+
+val prepare : t -> txn:string -> force:bool -> (vote -> unit) -> unit
+(** Vote.  A transaction with no updates votes [Vote_read_only] immediately
+    (no log write) and releases its read locks.  Otherwise an [Rm_prepared]
+    record is written ([force:false] = shared-log optimization: the record is
+    buffered and hardens with the TM's next force) and the vote is
+    [Vote_yes]. *)
+
+val commit : t -> txn:string -> force:bool -> (unit -> unit) -> unit
+(** Apply the write set, write [Rm_committed] (forced or not), release
+    locks. *)
+
+val abort : t -> txn:string -> (unit -> unit) -> unit
+(** Discard the write set, write a non-forced [Rm_aborted], release locks. *)
+
+(** {2 Introspection, crash, recovery} *)
+
+val committed_value : t -> string -> string option
+(** The committed (post-crash-visible) value of a key. *)
+
+val committed_bindings : t -> (string * string) list
+(** All committed key/value pairs, sorted by key. *)
+
+val in_doubt : t -> string list
+(** Transactions prepared here with no durable outcome (post-[recover]). *)
+
+val crash : t -> unit
+val recover : t -> unit
+
+val checkpoint : t -> (unit -> unit) -> unit
+(** Write a forced checkpoint record carrying a snapshot of the committed
+    store, then compact the log: records older than the checkpoint are
+    dropped except those belonging to still-active (in-flight or in-doubt)
+    transactions.  [recover] starts from the most recent durable
+    checkpoint, bounding recovery work and log growth. *)

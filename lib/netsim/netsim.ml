@@ -1,0 +1,122 @@
+module Make (P : sig
+  type t
+end) =
+struct
+  type handler = src:string -> P.t list -> unit
+
+  type node_state = {
+    mutable handler : handler;
+    mutable up : bool;
+    mutable sent : int;
+    mutable received : int;
+  }
+
+  type t = {
+    engine : Simkernel.Engine.t;
+    default_latency : float;
+    nodes : (string, node_state) Hashtbl.t;
+    latencies : (string * string, float) Hashtbl.t;
+    partitions : (string * string, unit) Hashtbl.t;
+    directed_sent : (string * string, int ref) Hashtbl.t;
+    drops : (string * string, int list ref) Hashtbl.t;
+    mutable total_flows : int;
+  }
+
+  let create engine ?(default_latency = 1.0) () =
+    {
+      engine;
+      default_latency;
+      nodes = Hashtbl.create 16;
+      latencies = Hashtbl.create 16;
+      partitions = Hashtbl.create 4;
+      directed_sent = Hashtbl.create 16;
+      drops = Hashtbl.create 4;
+      total_flows = 0;
+    }
+
+  let engine t = t.engine
+
+  let node_state t name =
+    match Hashtbl.find_opt t.nodes name with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "netsim: unknown node %S" name)
+
+  let add_node t name handler =
+    if Hashtbl.mem t.nodes name then
+      invalid_arg (Printf.sprintf "netsim: duplicate node %S" name);
+    Hashtbl.replace t.nodes name { handler; up = true; sent = 0; received = 0 }
+
+  let set_handler t name handler = (node_state t name).handler <- handler
+
+  let pair a b = if a <= b then (a, b) else (b, a)
+
+  let set_latency t a b l = Hashtbl.replace t.latencies (pair a b) l
+
+  let latency t a b =
+    match Hashtbl.find_opt t.latencies (pair a b) with
+    | Some l -> l
+    | None -> t.default_latency
+
+  let partition t a b = Hashtbl.replace t.partitions (pair a b) ()
+  let heal t a b = Hashtbl.remove t.partitions (pair a b)
+  let partitioned t a b = Hashtbl.mem t.partitions (pair a b)
+
+  let cell tbl key init =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+        let r = ref init in
+        Hashtbl.replace tbl key r;
+        r
+
+  let drop_nth t ~src ~dst ~nth =
+    if nth < 1 then invalid_arg "netsim: drop_nth expects nth >= 1";
+    let sent = !(cell t.directed_sent (src, dst) 0) in
+    let drops = cell t.drops (src, dst) [] in
+    drops := (sent + nth) :: !drops
+
+  let crash_node t name = (node_state t name).up <- false
+  let restart_node t name = (node_state t name).up <- true
+  let is_up t name = (node_state t name).up
+
+  let send t ~src ~dst payloads =
+    let s = node_state t src in
+    let d = node_state t dst in
+    if (not s.up) || partitioned t src dst then false
+    else begin
+      (* The message left the source: it is a flow whether or not it arrives. *)
+      t.total_flows <- t.total_flows + 1;
+      s.sent <- s.sent + 1;
+      let seq = cell t.directed_sent (src, dst) 0 in
+      incr seq;
+      let lost =
+        match Hashtbl.find_opt t.drops (src, dst) with
+        | Some drops when List.mem !seq !drops ->
+            drops := List.filter (fun n -> n <> !seq) !drops;
+            true
+        | _ -> false
+      in
+      if not lost then begin
+        let l = latency t src dst in
+        ignore
+          (Simkernel.Engine.schedule t.engine ~delay:l (fun () ->
+               if d.up then begin
+                 d.received <- d.received + 1;
+                 d.handler ~src payloads
+               end))
+      end;
+      true
+    end
+
+  let flows t = t.total_flows
+  let sent_by t name = (node_state t name).sent
+  let received_by t name = (node_state t name).received
+
+  let reset_stats t =
+    t.total_flows <- 0;
+    Hashtbl.iter
+      (fun _ s ->
+        s.sent <- 0;
+        s.received <- 0)
+      t.nodes
+end

@@ -1,0 +1,72 @@
+(** Virtual network for the discrete-event simulation.
+
+    The network is functorized over the payload type so the protocol library
+    defines its own message vocabulary.  A {e flow} in the paper's sense is
+    one network message; a single flow may carry several piggybacked protocol
+    payloads (implied acknowledgments, long-locks acknowledgments, chained
+    next-transaction data), which is why [send] takes a payload {e list} and
+    counts one flow.
+
+    Delivery model: per ordered pair of nodes, messages are FIFO with a
+    constant per-pair latency (default if unset).  Partitions are checked at
+    send time (the sender's session breaks); a message in flight to a node
+    that crashes before delivery is dropped at delivery time. *)
+
+module Make (P : sig
+  type t
+end) : sig
+  type t
+
+  type handler = src:string -> P.t list -> unit
+
+  val create : Simkernel.Engine.t -> ?default_latency:float -> unit -> t
+  (** Default latency is [1.0] virtual seconds. *)
+
+  val engine : t -> Simkernel.Engine.t
+
+  val add_node : t -> string -> handler -> unit
+  (** Register a node and its delivery handler.  Raises [Invalid_argument]
+      on duplicate registration. *)
+
+  val set_handler : t -> string -> handler -> unit
+  (** Replace a node's handler (used when a node restarts with fresh state). *)
+
+  val set_latency : t -> string -> string -> float -> unit
+  (** Symmetric per-pair latency override. *)
+
+  val latency : t -> string -> string -> float
+
+  val send : t -> src:string -> dst:string -> P.t list -> bool
+  (** Send one message (one flow) carrying the given payload bundle.
+      Returns [false] if the message was lost: source or destination crashed,
+      or the pair partitioned, at send time.  Lost sends still count as flows
+      only when they actually left the source (partitioned/crashed-source
+      sends are not counted). *)
+
+  val partition : t -> string -> string -> unit
+  val heal : t -> string -> string -> unit
+  val partitioned : t -> string -> string -> bool
+
+  val drop_nth : t -> src:string -> dst:string -> nth:int -> unit
+  (** Lose the [nth] message (1-based, counted from now) sent from [src] to
+      [dst]: it leaves the source (and is counted as a flow) but is never
+      delivered.  Used to test retransmission and presumption logic under
+      lossy links. *)
+
+  val crash_node : t -> string -> unit
+  (** Mark a node down: its in-flight inbound messages are dropped at
+      delivery time; subsequent sends to or from it are lost. *)
+
+  val restart_node : t -> string -> unit
+
+  val is_up : t -> string -> bool
+
+  (** {2 Statistics} *)
+
+  val flows : t -> int
+  (** Total messages that left a source since the last [reset_stats]. *)
+
+  val sent_by : t -> string -> int
+  val received_by : t -> string -> int
+  val reset_stats : t -> unit
+end

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulation never consults the global [Random] state so that the same
+    seed always yields the same run regardless of library initialization
+    order. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from [t]; both streams stay deterministic. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean (for inter-arrival
+    times in workload generators). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

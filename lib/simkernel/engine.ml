@@ -1,0 +1,118 @@
+exception Negative_delay of float
+
+type event = { id : int; etime : float }
+
+(* The agenda is a binary min-heap ordered by (time, id).  The [id] tiebreak
+   gives FIFO semantics for same-time events, which is what makes runs
+   deterministic. *)
+type cell = { time : float; seq : int; mutable thunk : (unit -> unit) option }
+
+type t = {
+  mutable clock : float;
+  mutable heap : cell array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int; (* non-cancelled entries in the heap *)
+}
+
+let dummy_cell = { time = 0.0; seq = -1; thunk = None }
+
+let create () =
+  { clock = 0.0; heap = Array.make 64 dummy_cell; size = 0; next_seq = 0; live = 0 }
+
+let now t = t.clock
+
+let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && cell_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && cell_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy_cell in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t cell =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- cell;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy_cell;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let schedule_at t ~time f =
+  if time < t.clock then raise (Negative_delay (time -. t.clock));
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { time; seq; thunk = Some f };
+  t.live <- t.live + 1;
+  { id = seq; etime = time }
+
+let schedule t ~delay f =
+  if delay < 0.0 then raise (Negative_delay delay);
+  schedule_at t ~time:(t.clock +. delay) f
+
+(* Cancellation marks the cell; the heap entry is discarded lazily when it
+   reaches the top.  O(n) scan avoided; we find the cell by (time, id). *)
+let cancel t ev =
+  let found = ref false in
+  for i = 0 to t.size - 1 do
+    let c = t.heap.(i) in
+    if (not !found) && c.seq = ev.id && c.time = ev.etime && c.thunk <> None
+    then begin
+      c.thunk <- None;
+      found := true
+    end
+  done;
+  if !found then t.live <- t.live - 1
+
+let pending t = t.live
+
+let step t =
+  if t.size = 0 then false
+  else begin
+    let cell = pop t in
+    (match cell.thunk with
+    | None -> () (* cancelled *)
+    | Some f ->
+        t.live <- t.live - 1;
+        t.clock <- cell.time;
+        f ());
+    true
+  end
+
+let rec run t = if step t then run t
+
+let rec run_until t horizon =
+  if t.size > 0 && t.heap.(0).time <= horizon then begin
+    ignore (step t);
+    run_until t horizon
+  end
+  else if t.clock < horizon then t.clock <- horizon

@@ -1,0 +1,148 @@
+type group = { size : int; timeout : float }
+type config = { io_latency : float; group : group option }
+
+type stats = { writes : int; forced_writes : int; force_ios : int }
+
+type t = {
+  engine : Simkernel.Engine.t;
+  node_name : string;
+  cfg : config;
+  mutable records : Log_record.t array; (* grow-only arena *)
+  mutable len : int;
+  mutable durable_upto : int; (* records.(0 .. durable_upto-1) are durable *)
+  mutable writes : int;
+  mutable forced_writes : int;
+  mutable force_ios : int;
+  (* group-commit state *)
+  mutable batch : (int * (unit -> unit)) list; (* high-water mark, continuation *)
+  mutable batch_timer : Simkernel.Engine.event option;
+  mutable epoch : int; (* bumped on crash so in-flight I/O completions are ignored *)
+}
+
+let default_config = { io_latency = 0.5; group = None }
+
+let create engine ~node ?(config = default_config) () =
+  {
+    engine;
+    node_name = node;
+    cfg = config;
+    records = Array.make 32 (Log_record.make ~txn:"" ~node:"" Log_record.End);
+    len = 0;
+    durable_upto = 0;
+    writes = 0;
+    forced_writes = 0;
+    force_ios = 0;
+    batch = [];
+    batch_timer = None;
+    epoch = 0;
+  }
+
+let node t = t.node_name
+let config t = t.cfg
+
+let push t r =
+  if t.len = Array.length t.records then begin
+    let bigger = Array.make (2 * t.len) r in
+    Array.blit t.records 0 bigger 0 t.len;
+    t.records <- bigger
+  end;
+  t.records.(t.len) <- r;
+  t.len <- t.len + 1
+
+let append t r =
+  push t r;
+  t.writes <- t.writes + 1
+
+(* One physical I/O hardening everything up to [upto]; continuations in
+   [conts] fire after the I/O latency, unless a crash bumped the epoch. *)
+let physical_force t ~upto conts =
+  t.force_ios <- t.force_ios + 1;
+  let epoch = t.epoch in
+  ignore
+    (Simkernel.Engine.schedule t.engine ~delay:t.cfg.io_latency (fun () ->
+         if t.epoch = epoch then begin
+           if upto > t.durable_upto then t.durable_upto <- upto;
+           List.iter (fun k -> k ()) conts
+         end))
+
+let flush_batch t =
+  (match t.batch_timer with
+  | Some ev ->
+      Simkernel.Engine.cancel t.engine ev;
+      t.batch_timer <- None
+  | None -> ());
+  match t.batch with
+  | [] -> ()
+  | batch ->
+      t.batch <- [];
+      let upto = List.fold_left (fun acc (hw, _) -> max acc hw) 0 batch in
+      let conts = List.rev_map snd batch in
+      physical_force t ~upto conts
+
+let enqueue_force t k =
+  match t.cfg.group with
+  | None -> physical_force t ~upto:t.len [ k ]
+  | Some g ->
+      t.batch <- (t.len, k) :: t.batch;
+      if List.length t.batch >= g.size then flush_batch t
+      else if t.batch_timer = None then
+        t.batch_timer <-
+          Some
+            (Simkernel.Engine.schedule t.engine ~delay:g.timeout (fun () ->
+                 t.batch_timer <- None;
+                 flush_batch t))
+
+let force t r k =
+  push t r;
+  t.writes <- t.writes + 1;
+  t.forced_writes <- t.forced_writes + 1;
+  enqueue_force t k
+
+let flush t k =
+  if t.durable_upto = t.len && t.batch = [] then k ()
+  else enqueue_force t k
+
+let compact t ~keep =
+  let kept = ref [] in
+  let dropped = ref 0 in
+  for i = 0 to t.durable_upto - 1 do
+    if keep t.records.(i) then kept := t.records.(i) :: !kept
+    else incr dropped
+  done;
+  let kept = Array.of_list (List.rev !kept) in
+  let tail = Array.sub t.records t.durable_upto (t.len - t.durable_upto) in
+  let data = Array.append kept tail in
+  let capacity = max 32 (Array.length t.records) in
+  let arena =
+    Array.make capacity (Log_record.make ~txn:"" ~node:"" Log_record.End)
+  in
+  Array.blit data 0 arena 0 (Array.length data);
+  t.records <- arena;
+  t.durable_upto <- Array.length kept;
+  t.len <- Array.length data;
+  !dropped
+
+let crash t =
+  t.epoch <- t.epoch + 1;
+  t.len <- t.durable_upto;
+  t.batch <- [];
+  match t.batch_timer with
+  | Some ev ->
+      Simkernel.Engine.cancel t.engine ev;
+      t.batch_timer <- None
+  | None -> ()
+
+let slice t n = Array.to_list (Array.sub t.records 0 n)
+let durable t = slice t t.durable_upto
+let all_records t = slice t t.len
+
+let stats t =
+  { writes = t.writes; forced_writes = t.forced_writes; force_ios = t.force_ios }
+
+let reset_stats t =
+  t.writes <- 0;
+  t.forced_writes <- 0;
+  t.force_ios <- 0
+
+let records_for t ~txn =
+  List.filter (fun (r : Log_record.t) -> r.txn = txn) (durable t)

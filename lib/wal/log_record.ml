@@ -1,0 +1,44 @@
+type kind =
+  | Commit_pending
+  | Prepared
+  | Committed
+  | Aborted
+  | End
+  | Agent
+  | Heuristic_commit
+  | Heuristic_abort
+  | Rm_update
+  | Rm_prepared
+  | Rm_committed
+  | Rm_aborted
+  | Checkpoint
+
+type t = { txn : string; node : string; kind : kind; payload : string }
+
+let make ~txn ~node ?(payload = "") kind = { txn; node; kind; payload }
+
+let kind_to_string = function
+  | Commit_pending -> "commit-pending"
+  | Prepared -> "prepared"
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+  | End -> "end"
+  | Agent -> "agent"
+  | Heuristic_commit -> "heuristic-commit"
+  | Heuristic_abort -> "heuristic-abort"
+  | Rm_update -> "rm-update"
+  | Rm_prepared -> "rm-prepared"
+  | Rm_committed -> "rm-committed"
+  | Rm_aborted -> "rm-aborted"
+  | Checkpoint -> "checkpoint"
+
+let pp ppf t =
+  Format.fprintf ppf "[%s@%s %s%s]" t.txn t.node (kind_to_string t.kind)
+    (if t.payload = "" then "" else " " ^ t.payload)
+
+let is_tm_record t =
+  match t.kind with
+  | Rm_update | Rm_prepared | Rm_committed | Rm_aborted | Checkpoint -> false
+  | Commit_pending | Prepared | Committed | Aborted | End | Agent
+  | Heuristic_commit | Heuristic_abort ->
+      true

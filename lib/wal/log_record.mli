@@ -1,0 +1,37 @@
+(** Log record vocabulary for the transaction managers and resource managers.
+
+    The record kinds follow the paper's Figures 1-3 and 8: [Commit_pending]
+    is PN's extra coordinator record; [Agent] is PN's subordinate-side
+    obligation record (the paper's Table 2 charges the PN subordinate four
+    writes, three forced); [Rm_*] records belong to local resource managers
+    (undo/redo payloads for the key-value store). *)
+
+type kind =
+  | Commit_pending  (** PN coordinator, forced before any Prepare is sent *)
+  | Prepared        (** subordinate vote YES durability point *)
+  | Committed
+  | Aborted
+  | End             (** outcome forgotten; never forced *)
+  | Agent           (** PN subordinate ack-obligation record *)
+  | Heuristic_commit
+  | Heuristic_abort
+  | Rm_update       (** resource-manager undo/redo payload *)
+  | Rm_prepared
+  | Rm_committed
+  | Rm_aborted
+  | Checkpoint      (** resource-manager store snapshot; bounds recovery *)
+
+type t = {
+  txn : string;        (** transaction identifier *)
+  node : string;       (** writing node *)
+  kind : kind;
+  payload : string;    (** opaque payload (RM undo/redo data, participant lists) *)
+}
+
+val make : txn:string -> node:string -> ?payload:string -> kind -> t
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val is_tm_record : t -> bool
+(** True for transaction-manager records (not [Rm_*]). *)

@@ -1,0 +1,165 @@
+(** Workload generators: commit-tree shapes and member-property mixes for the
+    benches and the randomized tests.
+
+    The paper's Table 3 analyses a transaction with [n] members of which [m]
+    follow one optimization; these helpers build such trees in the shapes
+    the analysis assumes (flat: every member a direct subordinate of the
+    coordinator) and in the shapes the peer-to-peer discussion motivates
+    (chains of cascaded coordinators, bushy random trees). *)
+
+open Tpc.Types
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic tree shapes                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Flat commit tree: a coordinator with [n-1] leaf subordinates.
+    [decorate i p] may adjust the profile of subordinate [i] (0-based). *)
+let flat ?(decorate = fun _ p -> p) ~n () =
+  if n < 1 then invalid_arg "Workload.flat: n must be at least 1";
+  Tree
+    ( member "coord",
+      List.init (n - 1) (fun i ->
+          Tree (decorate i (member (Printf.sprintf "sub%d" i)), [])) )
+
+(** Chain of cascaded coordinators: coord -> c1 -> c2 -> ... -> c[n-1]. *)
+let chain ?(decorate = fun _ p -> p) ~n () =
+  if n < 1 then invalid_arg "Workload.chain: n must be at least 1";
+  let rec build i =
+    if i >= n then []
+    else [ Tree (decorate i (member (Printf.sprintf "c%d" i)), build (i + 1)) ]
+  in
+  Tree (member "coord", build 1)
+
+(** Flat tree whose last [m] subordinates form a delegation chain hanging
+    off the coordinator: the Table 3 shape for the last-agent row (each
+    last agent picks one of its subordinates as its own last agent). *)
+let flat_with_delegation_chain ~n ~m () =
+  if m >= n then invalid_arg "Workload.flat_with_delegation_chain: m < n required";
+  let rec agents i =
+    if i >= m then []
+    else [ Tree (member (Printf.sprintf "agent%d" i), agents (i + 1)) ]
+  in
+  let leaves =
+    List.init (n - 1 - m) (fun i -> Tree (member (Printf.sprintf "sub%d" i), []))
+  in
+  Tree (member "coord", leaves @ agents 0)
+
+(** Uniform random tree over [n] members with maximum fanout [fanout];
+    deterministic in [seed]. *)
+let random_tree ?(fanout = 4) ~seed ~n () =
+  if n < 1 then invalid_arg "Workload.random_tree: n must be at least 1";
+  let rng = Simkernel.Det_rng.create ~seed in
+  (* attach each new member under a uniformly chosen existing member that
+     still has fanout room *)
+  let children = Array.make n [] in
+  let counts = Array.make n 0 in
+  for i = 1 to n - 1 do
+    let rec pick () =
+      let j = Simkernel.Det_rng.int rng i in
+      if counts.(j) < fanout then j else pick ()
+    in
+    let parent = pick () in
+    counts.(parent) <- counts.(parent) + 1;
+    children.(parent) <- i :: children.(parent)
+  done;
+  let name i = if i = 0 then "coord" else Printf.sprintf "m%d" i in
+  let rec build i =
+    Tree (member (name i), List.map build (List.rev children.(i)))
+  in
+  build 0
+
+(* ------------------------------------------------------------------ *)
+(* Property mixes (the "m members follow the optimization" decorations) *)
+(* ------------------------------------------------------------------ *)
+
+let first_m ~m f i p = if i < m then f p else p
+
+let read_only_mix ~m = first_m ~m (fun p -> { p with p_updated = false })
+let reliable_mix ~m = first_m ~m (fun p -> { p with p_reliable = true })
+let unsolicited_mix ~m = first_m ~m (fun p -> { p with p_unsolicited = true })
+
+let leave_out_mix ~m =
+  first_m ~m (fun p -> { p with p_left_out = true; p_leave_out_ok = true })
+
+let shared_log_mix ~m = first_m ~m (fun p -> { p with p_shares_parent_log = true })
+let long_locks_mix ~m = first_m ~m (fun p -> { p with p_long_locks = true })
+
+(** The Table 3 tree for one optimization: n members, m of them using it. *)
+let table3_tree (opt : Tpc.Cost_model.optimization) ~n ~m =
+  match opt with
+  | Tpc.Cost_model.Read_only_opt -> flat ~decorate:(read_only_mix ~m) ~n ()
+  | Tpc.Cost_model.Last_agent_opt -> flat_with_delegation_chain ~n ~m ()
+  | Tpc.Cost_model.Unsolicited_vote_opt ->
+      flat ~decorate:(unsolicited_mix ~m) ~n ()
+  | Tpc.Cost_model.Leave_out_opt -> flat ~decorate:(leave_out_mix ~m) ~n ()
+  | Tpc.Cost_model.Vote_reliable_opt -> flat ~decorate:(reliable_mix ~m) ~n ()
+  | Tpc.Cost_model.Wait_for_outcome_opt -> flat ~n ()
+  | Tpc.Cost_model.Shared_log_opt -> flat ~decorate:(shared_log_mix ~m) ~n ()
+  | Tpc.Cost_model.Long_locks_opt -> flat ~decorate:(long_locks_mix ~m) ~n ()
+
+(** The protocol options that activate one optimization. *)
+let table3_opts (opt : Tpc.Cost_model.optimization) =
+  match opt with
+  | Tpc.Cost_model.Read_only_opt -> { no_opts with read_only = true }
+  | Tpc.Cost_model.Last_agent_opt -> { no_opts with last_agent = true }
+  | Tpc.Cost_model.Unsolicited_vote_opt -> { no_opts with unsolicited_vote = true }
+  | Tpc.Cost_model.Leave_out_opt -> { no_opts with leave_out = true }
+  | Tpc.Cost_model.Vote_reliable_opt -> { no_opts with vote_reliable = true }
+  | Tpc.Cost_model.Wait_for_outcome_opt -> { no_opts with wait_for_outcome = true }
+  | Tpc.Cost_model.Shared_log_opt -> { no_opts with shared_log = true }
+  | Tpc.Cost_model.Long_locks_opt -> { no_opts with long_locks = true }
+
+(** Run the Table 3 experiment for one optimization and return the
+    simulated counts. *)
+let run_table3 ?(protocol = Presumed_abort) opt ~n ~m =
+  (* with m=0 nobody follows the optimization: switch it off entirely (the
+     last-agent switch would otherwise delegate to an arbitrary member) *)
+  let opts = if m = 0 then no_opts else table3_opts opt in
+  let config = { default_config with protocol; opts } in
+  let metrics, _w = Tpc.Run.commit_tree ~config (table3_tree opt ~n ~m) in
+  Tpc.Metrics.counts metrics
+
+(* ------------------------------------------------------------------ *)
+(* Lock-contention experiment                                          *)
+(* ------------------------------------------------------------------ *)
+
+type contention_result = {
+  ct_intruders : int;
+  ct_mean_wait : float;
+  ct_max_wait : float;
+  ct_commit_outcome : outcome option;
+}
+
+let contention_experiment ?(config = default_config)
+    ?(arrivals = [ 0.5; 1.0; 1.5 ]) ~victim tree =
+  let w = Tpc.Run.setup ~config tree in
+  let engine = w.Tpc.Run.engine in
+  let kv = Tpc.Run.kv w victim in
+  let key = "acct-" ^ victim in
+  let waits = ref [] in
+  List.iteri
+    (fun i arrival ->
+      let txn = Printf.sprintf "intruder-%d" i in
+      ignore
+        (Simkernel.Engine.schedule engine ~delay:arrival (fun () ->
+             let requested = Simkernel.Engine.now engine in
+             Kvstore.put_async kv ~txn ~key ~value:("intr-" ^ txn)
+               ~granted:(fun () ->
+                 waits := (Simkernel.Engine.now engine -. requested) :: !waits;
+                 (* release immediately so the next intruder can proceed *)
+                 Kvstore.commit kv ~txn ~force:false (fun () -> ())))))
+    arrivals;
+  Tpc.Run.perform_work w ~txn:"txn-1";
+  Tpc.Participant.begin_commit (Tpc.Run.participant w w.Tpc.Run.root)
+    ~txn:"txn-1";
+  Simkernel.Engine.run engine;
+  let served = List.length !waits in
+  {
+    ct_intruders = served;
+    ct_mean_wait =
+      (if served = 0 then 0.0
+       else List.fold_left ( +. ) 0.0 !waits /. float_of_int served);
+    ct_max_wait = List.fold_left max 0.0 !waits;
+    ct_commit_outcome = w.Tpc.Run.outcome;
+  }

@@ -1,0 +1,209 @@
+(* Lock contention and checkpointing: the throughput-side claims of
+   Section 1 and the log-manager substrate. *)
+
+open Tpc.Types
+open Test_util
+module W = Workload
+
+(* --- contention -------------------------------------------------------- *)
+
+let victim_tree ~victim_updated =
+  Tree (member "C", [ Tree (member ~updated:victim_updated "S", []) ])
+
+let test_intruders_wait_for_commit () =
+  let r =
+    W.contention_experiment ~config:(cfg ()) ~victim:"S"
+      (victim_tree ~victim_updated:true)
+  in
+  Alcotest.(check int) "all intruders eventually served" 3 r.W.ct_intruders;
+  Alcotest.(check (option outcome)) "commit went through" (Some Committed)
+    r.W.ct_commit_outcome;
+  (* the first intruder arrived at 0.5 and could not proceed before S's
+     local commit (~4.5 at default latencies) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "intruders waited (max %.2f)" r.W.ct_max_wait)
+    true (r.W.ct_max_wait > 2.0)
+
+let test_read_only_reduces_wait () =
+  (* when S is read-only and the optimization is on, S releases at its vote
+     (phase one): intruders wait far less *)
+  let baseline =
+    W.contention_experiment ~config:(cfg ()) ~victim:"S"
+      (victim_tree ~victim_updated:true)
+  in
+  let ro =
+    W.contention_experiment
+      ~config:(cfg ~opts:{ no_opts with read_only = true } ())
+      ~victim:"S"
+      (victim_tree ~victim_updated:false)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "read-only wait %.2f < baseline %.2f" ro.W.ct_max_wait
+       baseline.W.ct_max_wait)
+    true
+    (ro.W.ct_max_wait < baseline.W.ct_max_wait)
+
+let test_higher_latency_longer_waits () =
+  let near =
+    W.contention_experiment ~config:(cfg ~latency:1.0 ()) ~victim:"S"
+      (victim_tree ~victim_updated:true)
+  in
+  let far =
+    W.contention_experiment ~config:(cfg ~latency:10.0 ()) ~victim:"S"
+      (victim_tree ~victim_updated:true)
+  in
+  Alcotest.(check bool) "distribution amplifies lock waits" true
+    (far.W.ct_mean_wait > near.W.ct_mean_wait)
+
+let test_contention_fifo () =
+  (* intruders are served in arrival order: waits decrease strictly with
+     later arrival (same release point) *)
+  let r =
+    W.contention_experiment ~config:(cfg ())
+      ~arrivals:[ 0.2; 0.4; 0.6 ] ~victim:"S"
+      (victim_tree ~victim_updated:true)
+  in
+  Alcotest.(check int) "three served" 3 r.W.ct_intruders
+
+(* --- kvstore checkpointing --------------------------------------------- *)
+
+module E = Simkernel.Engine
+module K = Kvstore
+module L = Wal.Log
+
+let mk () =
+  let e = E.create () in
+  let wal = L.create e ~node:"rm" () in
+  (e, wal, K.create e ~name:"rm" ~wal ())
+
+let commit_one e kv txn key value =
+  ignore (K.put kv ~txn ~key ~value);
+  K.commit kv ~txn ~force:true (fun () -> ());
+  E.run e
+
+let test_checkpoint_roundtrip () =
+  let e, _w, kv = mk () in
+  commit_one e kv "t1" "a" "1";
+  commit_one e kv "t2" "b" "2";
+  K.checkpoint kv (fun () -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (list (pair string string))) "state restored from snapshot"
+    [ ("a", "1"); ("b", "2") ]
+    (K.committed_bindings kv)
+
+let test_checkpoint_compacts_log () =
+  let e, wal, kv = mk () in
+  for i = 1 to 20 do
+    commit_one e kv (Printf.sprintf "t%d" i) (Printf.sprintf "k%d" i) "v"
+  done;
+  let before = List.length (L.durable wal) in
+  K.checkpoint kv (fun () -> ());
+  E.run e;
+  let after = List.length (L.durable wal) in
+  Alcotest.(check bool)
+    (Printf.sprintf "log shrank (%d -> %d)" before after)
+    true
+    (after < before);
+  (* and recovery still yields all twenty keys *)
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check int) "all data survives compaction" 20
+    (List.length (K.committed_bindings kv))
+
+let test_checkpoint_preserves_in_flight () =
+  let e, _w, kv = mk () in
+  commit_one e kv "t1" "a" "1";
+  (* t2 is prepared but unresolved when the checkpoint happens *)
+  ignore (K.put kv ~txn:"t2" ~key:"b" ~value:"2");
+  K.prepare kv ~txn:"t2" ~force:true (fun _ -> ());
+  E.run e;
+  K.checkpoint kv (fun () -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (list string)) "t2 still in doubt after compaction"
+    [ "t2" ] (K.in_doubt kv);
+  (* resolving it applies the retained write set *)
+  K.commit kv ~txn:"t2" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "in-flight data intact" (Some "2")
+    (K.committed_value kv "b")
+
+let test_updates_after_checkpoint_replay () =
+  let e, _w, kv = mk () in
+  commit_one e kv "t1" "a" "1";
+  K.checkpoint kv (fun () -> ());
+  E.run e;
+  commit_one e kv "t2" "a" "2";
+  commit_one e kv "t3" "c" "3";
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (option string)) "post-checkpoint update wins" (Some "2")
+    (K.committed_value kv "a");
+  Alcotest.(check (option string)) "post-checkpoint insert present" (Some "3")
+    (K.committed_value kv "c")
+
+let test_second_checkpoint_supersedes () =
+  let e, wal, kv = mk () in
+  commit_one e kv "t1" "a" "1";
+  K.checkpoint kv (fun () -> ());
+  E.run e;
+  commit_one e kv "t2" "b" "2";
+  K.checkpoint kv (fun () -> ());
+  E.run e;
+  let checkpoints =
+    List.filter
+      (fun (r : Wal.Log_record.t) -> r.kind = Wal.Log_record.Checkpoint)
+      (L.durable wal)
+  in
+  Alcotest.(check int) "only the newest checkpoint kept" 1
+    (List.length checkpoints);
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (list (pair string string))) "full state from the newest"
+    [ ("a", "1"); ("b", "2") ]
+    (K.committed_bindings kv)
+
+let test_put_async_grants_when_free () =
+  let _e, _w, kv = mk () in
+  let granted = ref false in
+  K.put_async kv ~txn:"t1" ~key:"k" ~value:"v" ~granted:(fun () -> granted := true);
+  Alcotest.(check bool) "uncontended put_async immediate" true !granted;
+  Alcotest.(check (option string)) "write buffered" (Some "v")
+    (K.get kv ~txn:"t1" "k")
+
+let test_put_async_waits_for_release () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v1");
+  let granted = ref false in
+  K.put_async kv ~txn:"t2" ~key:"k" ~value:"v2" ~granted:(fun () -> granted := true);
+  Alcotest.(check bool) "blocked behind t1" false !granted;
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check bool) "granted after t1 commit" true !granted
+
+let suite =
+  [
+    Alcotest.test_case "intruders wait for commit" `Quick
+      test_intruders_wait_for_commit;
+    Alcotest.test_case "read-only reduces intruder wait" `Quick
+      test_read_only_reduces_wait;
+    Alcotest.test_case "latency amplifies waits" `Quick
+      test_higher_latency_longer_waits;
+    Alcotest.test_case "contention FIFO service" `Quick test_contention_fifo;
+    Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint compacts the log" `Quick
+      test_checkpoint_compacts_log;
+    Alcotest.test_case "checkpoint preserves in-flight txns" `Quick
+      test_checkpoint_preserves_in_flight;
+    Alcotest.test_case "updates after checkpoint replay" `Quick
+      test_updates_after_checkpoint_replay;
+    Alcotest.test_case "second checkpoint supersedes" `Quick
+      test_second_checkpoint_supersedes;
+    Alcotest.test_case "put_async immediate when free" `Quick
+      test_put_async_grants_when_free;
+    Alcotest.test_case "put_async waits for release" `Quick
+      test_put_async_waits_for_release;
+  ]

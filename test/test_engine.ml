@@ -1,0 +1,150 @@
+(* Tests of the discrete-event engine: ordering, determinism, cancellation. *)
+
+module E = Simkernel.Engine
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_initial_time () =
+  let e = E.create () in
+  checkf "clock starts at zero" 0.0 (E.now e)
+
+let test_schedule_and_run () =
+  let e = E.create () in
+  let hits = ref [] in
+  ignore (E.schedule e ~delay:2.0 (fun () -> hits := 2 :: !hits));
+  ignore (E.schedule e ~delay:1.0 (fun () -> hits := 1 :: !hits));
+  ignore (E.schedule e ~delay:3.0 (fun () -> hits := 3 :: !hits));
+  E.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !hits);
+  checkf "clock at last event" 3.0 (E.now e)
+
+let test_fifo_ties () =
+  let e = E.create () in
+  let hits = ref [] in
+  for i = 1 to 5 do
+    ignore (E.schedule e ~delay:1.0 (fun () -> hits := i :: !hits))
+  done;
+  E.run e;
+  Alcotest.(check (list int)) "same-time events run FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !hits)
+
+let test_nested_scheduling () =
+  let e = E.create () in
+  let hits = ref [] in
+  ignore
+    (E.schedule e ~delay:1.0 (fun () ->
+         hits := "a" :: !hits;
+         ignore (E.schedule e ~delay:1.0 (fun () -> hits := "c" :: !hits))));
+  ignore (E.schedule e ~delay:1.5 (fun () -> hits := "b" :: !hits));
+  E.run e;
+  Alcotest.(check (list string)) "nested events interleave by time"
+    [ "a"; "b"; "c" ] (List.rev !hits)
+
+let test_cancel () =
+  let e = E.create () in
+  let fired = ref false in
+  let ev = E.schedule e ~delay:1.0 (fun () -> fired := true) in
+  E.cancel e ev;
+  E.run e;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_cancel_is_idempotent () =
+  let e = E.create () in
+  let ev = E.schedule e ~delay:1.0 (fun () -> ()) in
+  E.cancel e ev;
+  E.cancel e ev;
+  check "pending zero after double cancel" 0 (E.pending e)
+
+let test_cancel_one_of_many () =
+  let e = E.create () in
+  let hits = ref 0 in
+  let _ = E.schedule e ~delay:1.0 (fun () -> incr hits) in
+  let ev = E.schedule e ~delay:1.0 (fun () -> incr hits) in
+  let _ = E.schedule e ~delay:1.0 (fun () -> incr hits) in
+  E.cancel e ev;
+  E.run e;
+  check "two of three fire" 2 !hits
+
+let test_pending () =
+  let e = E.create () in
+  check "empty agenda" 0 (E.pending e);
+  ignore (E.schedule e ~delay:1.0 (fun () -> ()));
+  ignore (E.schedule e ~delay:2.0 (fun () -> ()));
+  check "two pending" 2 (E.pending e);
+  ignore (E.step e);
+  check "one left after step" 1 (E.pending e)
+
+let test_run_until () =
+  let e = E.create () in
+  let hits = ref 0 in
+  ignore (E.schedule e ~delay:1.0 (fun () -> incr hits));
+  ignore (E.schedule e ~delay:5.0 (fun () -> incr hits));
+  E.run_until e 3.0;
+  check "only early event ran" 1 !hits;
+  checkf "clock advanced to horizon" 3.0 (E.now e);
+  E.run e;
+  check "late event runs afterwards" 2 !hits
+
+let test_run_until_boundary_inclusive () =
+  let e = E.create () in
+  let hits = ref 0 in
+  ignore (E.schedule e ~delay:3.0 (fun () -> incr hits));
+  E.run_until e 3.0;
+  check "event exactly at horizon runs" 1 !hits
+
+let test_step_empty () =
+  let e = E.create () in
+  Alcotest.(check bool) "step on empty returns false" false (E.step e)
+
+let test_negative_delay_rejected () =
+  let e = E.create () in
+  Alcotest.check_raises "negative delay" (E.Negative_delay (-1.0)) (fun () ->
+      ignore (E.schedule e ~delay:(-1.0) (fun () -> ())))
+
+let test_schedule_at_past_rejected () =
+  let e = E.create () in
+  ignore (E.schedule e ~delay:5.0 (fun () -> ()));
+  E.run e;
+  Alcotest.check_raises "past absolute time" (E.Negative_delay (-2.0)) (fun () ->
+      ignore (E.schedule_at e ~time:3.0 (fun () -> ())))
+
+let test_zero_delay_runs_now_not_reentrant () =
+  let e = E.create () in
+  let hits = ref [] in
+  ignore
+    (E.schedule e ~delay:0.0 (fun () ->
+         ignore (E.schedule e ~delay:0.0 (fun () -> hits := "inner" :: !hits));
+         hits := "outer" :: !hits));
+  E.run e;
+  Alcotest.(check (list string)) "zero-delay events are deferred, not reentrant"
+    [ "outer"; "inner" ] (List.rev !hits)
+
+let test_many_events_heap_growth () =
+  let e = E.create () in
+  let count = ref 0 in
+  for i = 0 to 999 do
+    ignore (E.schedule e ~delay:(float_of_int (999 - i)) (fun () -> incr count))
+  done;
+  E.run e;
+  check "all thousand events fired" 1000 !count;
+  checkf "clock at max delay" 999.0 (E.now e)
+
+let suite =
+  [
+    Alcotest.test_case "initial time" `Quick test_initial_time;
+    Alcotest.test_case "schedule and run in time order" `Quick test_schedule_and_run;
+    Alcotest.test_case "FIFO on equal timestamps" `Quick test_fifo_ties;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel idempotent" `Quick test_cancel_is_idempotent;
+    Alcotest.test_case "cancel one of many at same time" `Quick test_cancel_one_of_many;
+    Alcotest.test_case "pending count" `Quick test_pending;
+    Alcotest.test_case "run_until horizon" `Quick test_run_until;
+    Alcotest.test_case "run_until inclusive boundary" `Quick test_run_until_boundary_inclusive;
+    Alcotest.test_case "step on empty agenda" `Quick test_step_empty;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "absolute time in past rejected" `Quick test_schedule_at_past_rejected;
+    Alcotest.test_case "zero delay not reentrant" `Quick test_zero_delay_runs_now_not_reentrant;
+    Alcotest.test_case "heap growth under load" `Quick test_many_events_heap_growth;
+  ]

@@ -1,0 +1,209 @@
+(* Heuristic decisions and damage reporting: Section 1's "practical
+   necessity", PN's reliable reporting to the root, PA/R*'s
+   immediate-coordinator-only reporting, and the vote-reliable window in
+   which reports are lost (Table 1). *)
+
+open Tpc.Types
+open Test_util
+
+let fault node point ?restart () =
+  { f_node = node; f_point = point; f_restart_after = restart }
+
+(* An in-doubt S loses patience while C is down, then C recovers and
+   re-drives [outcome]. *)
+let heuristic_scenario ?(protocol = Presumed_abort) ~policy ~coord_fault () =
+  let tree = two ~s:(member ~heuristic:policy "S") () in
+  let config =
+    cfg ~protocol ~retry_interval:100.0 (* keep inquiries out of the window *)
+      ~faults:[ coord_fault ] ()
+  in
+  run ~config tree
+
+let test_heuristic_matching_outcome_no_damage () =
+  (* C crashes after logging commit, restarts; S heuristically committed in
+     the meantime: same outcome, no damage *)
+  let m, w =
+    heuristic_scenario
+      ~policy:(Heuristic_commit_after 5.0)
+      ~coord_fault:(fault "C" Cp_after_decision_log ~restart:60.0 ())
+      ()
+  in
+  check_outcome "commit" (Some Committed) m;
+  Alcotest.(check int) "one heuristic decision" 1 m.Tpc.Metrics.heuristics;
+  Alcotest.(check int) "no damage" 0 (List.length m.Tpc.Metrics.damage_reports);
+  check_consistent "states agree" w ~txn:"txn-1" ~outcome:Committed
+
+let test_heuristic_commit_vs_abort_damage () =
+  (* PN: C crashes after commit-pending; recovery aborts; S had
+     heuristically committed: damage, reported to the root *)
+  let m, w =
+    (* the coordinator fails after collecting votes (commit-pending durable,
+       outcome not yet logged): PN recovery aborts while S, prepared and
+       impatient, heuristically commits *)
+    heuristic_scenario ~protocol:Presumed_nothing
+      ~policy:(Heuristic_commit_after 5.0)
+      ~coord_fault:(fault "C" Cp_before_decision_log ~restart:60.0 ())
+      ()
+  in
+  check_outcome "PN recovery aborts" (Some Aborted) m;
+  Alcotest.(check int) "one heuristic decision" 1 m.Tpc.Metrics.heuristics;
+  Alcotest.(check (list (pair string string)))
+    "damage at S reported to the root coordinator"
+    [ ("S", "C") ]
+    m.Tpc.Metrics.damage_reports;
+  (* the damaged member kept its heuristic commit: global state diverged *)
+  Alcotest.(check (option string)) "S retains heuristically committed data"
+    (Some "upd-by-txn-1")
+    (Kvstore.committed_value (Tpc.Run.kv w "S") "acct-S");
+  Alcotest.(check (option string)) "C rolled back" None
+    (Kvstore.committed_value (Tpc.Run.kv w "C") "acct-C")
+
+let test_heuristic_abort_vs_commit_damage () =
+  let m, w =
+    heuristic_scenario ~protocol:Presumed_nothing
+      ~policy:(Heuristic_abort_after 5.0)
+      ~coord_fault:(fault "C" Cp_after_decision_log ~restart:60.0 ())
+      ()
+  in
+  check_outcome "commit" (Some Committed) m;
+  Alcotest.(check (list (pair string string))) "heuristic abort vs commit damage"
+    [ ("S", "C") ]
+    m.Tpc.Metrics.damage_reports;
+  Alcotest.(check (option string)) "S lost the update" None
+    (Kvstore.committed_value (Tpc.Run.kv w "S") "acct-S")
+
+let test_pn_damage_propagates_to_root_through_intermediate () =
+  (* damage deep in the tree reaches the root under PN (late ack) *)
+  let tree =
+    three ~s:(member ~heuristic:(Heuristic_abort_after 5.0) "S") ()
+  in
+  let config =
+    cfg ~protocol:Presumed_nothing ~retry_interval:100.0
+      ~faults:[ fault "C" Cp_after_decision_log ~restart:60.0 () ]
+      ()
+  in
+  let m, _w = run ~config tree in
+  check_outcome "commit" (Some Committed) m;
+  Alcotest.(check (list (pair string string))) "root hears about S's damage"
+    [ ("S", "C") ]
+    m.Tpc.Metrics.damage_reports
+
+let test_pa_damage_stops_at_immediate_coordinator () =
+  (* the same scenario under PA: the intermediate consumes the report (R*
+     semantics); the root sees no damage *)
+  let tree =
+    three ~s:(member ~heuristic:(Heuristic_abort_after 5.0) "S") ()
+  in
+  let config =
+    cfg ~protocol:Presumed_abort ~retry_interval:100.0
+      ~faults:[ fault "C" Cp_after_decision_log ~restart:60.0 () ]
+      ()
+  in
+  let m, _w = run ~config tree in
+  check_outcome "commit" (Some Committed) m;
+  Alcotest.(check (list (pair string string)))
+    "damage reported to the intermediate only"
+    [ ("S", "M") ]
+    m.Tpc.Metrics.damage_reports
+
+let test_vote_reliable_damage_lost () =
+  (* Table 1's vote-reliable disadvantage: a reliable resource that does
+     take a heuristic decision has no acknowledgment channel to report
+     damage through - the report is lost *)
+  let tree =
+    two ~s:(member ~reliable:true ~heuristic:(Heuristic_abort_after 5.0) "S") ()
+  in
+  let config =
+    cfg
+      ~opts:{ no_opts with vote_reliable = true }
+      ~retry_interval:100.0
+      ~faults:[ fault "C" Cp_after_decision_log ~restart:60.0 () ]
+      ()
+  in
+  let m, _w = run ~config tree in
+  check_outcome "commit" (Some Committed) m;
+  Alcotest.(check int) "heuristic decision happened" 1 m.Tpc.Metrics.heuristics;
+  Alcotest.(check (list (pair string string)))
+    "the damage report went nowhere"
+    [ ("S", "") ]
+    m.Tpc.Metrics.damage_reports
+
+let test_no_heuristic_when_decision_timely () =
+  (* a generous patience never fires in a healthy run *)
+  let tree = two ~s:(member ~heuristic:(Heuristic_commit_after 1000.0) "S") () in
+  let m, _w = run ~config:(cfg ()) tree in
+  check_outcome "commit" (Some Committed) m;
+  Alcotest.(check int) "no heuristic decision" 0 m.Tpc.Metrics.heuristics
+
+let test_heuristic_releases_locks_early () =
+  (* the whole point of a heuristic decision: stop holding locks *)
+  let tree = two ~s:(member ~heuristic:(Heuristic_commit_after 5.0) "S") () in
+  let config =
+    cfg ~retry_interval:300.0
+      ~faults:[ fault "C" Cp_after_decision_log ~restart:200.0 () ]
+      ()
+  in
+  let m, w = run ~config tree in
+  ignore m;
+  let t_release = Option.get (Tpc.Trace.locks_released_time w.Tpc.Run.trace "S") in
+  Alcotest.(check bool)
+    (Printf.sprintf "locks released at %.1f, long before recovery at 200" t_release)
+    true (t_release < 50.0)
+
+let test_heuristic_is_logged_durably () =
+  let tree = two ~s:(member ~heuristic:(Heuristic_commit_after 5.0) "S") () in
+  let config =
+    cfg ~retry_interval:100.0
+      ~faults:[ fault "C" Cp_after_decision_log ~restart:60.0 () ]
+      ()
+  in
+  let _m, w = run ~config tree in
+  let s_log = (Tpc.Run.node w "S").Tpc.Run.wal in
+  Alcotest.(check bool) "heuristic-commit record durable" true
+    (List.exists
+       (fun (r : Wal.Log_record.t) -> r.kind = Wal.Log_record.Heuristic_commit)
+       (Wal.Log.durable s_log))
+
+let test_heuristic_decision_acknowledged_normally_when_matching () =
+  (* after a matching heuristic decision the ack still flows so the
+     coordinator can forget the transaction *)
+  let tree = two ~s:(member ~heuristic:(Heuristic_commit_after 5.0) "S") () in
+  let config =
+    cfg ~retry_interval:100.0
+      ~faults:[ fault "C" Cp_after_decision_log ~restart:60.0 () ]
+      ()
+  in
+  let m, w = run ~config tree in
+  check_outcome "completes" (Some Committed) m;
+  let acks =
+    List.filter
+      (function
+        | Tpc.Trace.Send { src = "S"; label; _ } ->
+            String.length label >= 3 && String.sub label 0 3 = "Ack"
+        | _ -> false)
+      (Tpc.Trace.events w.Tpc.Run.trace)
+  in
+  Alcotest.(check bool) "S acknowledged" true (List.length acks >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "matching heuristic: no damage" `Quick
+      test_heuristic_matching_outcome_no_damage;
+    Alcotest.test_case "heuristic commit vs abort: damage (PN)" `Quick
+      test_heuristic_commit_vs_abort_damage;
+    Alcotest.test_case "heuristic abort vs commit: damage" `Quick
+      test_heuristic_abort_vs_commit_damage;
+    Alcotest.test_case "PN damage reaches root" `Quick
+      test_pn_damage_propagates_to_root_through_intermediate;
+    Alcotest.test_case "PA damage stops at immediate coordinator" `Quick
+      test_pa_damage_stops_at_immediate_coordinator;
+    Alcotest.test_case "vote-reliable damage lost" `Quick test_vote_reliable_damage_lost;
+    Alcotest.test_case "no heuristic in healthy run" `Quick
+      test_no_heuristic_when_decision_timely;
+    Alcotest.test_case "heuristic releases locks early" `Quick
+      test_heuristic_releases_locks_early;
+    Alcotest.test_case "heuristic decision logged durably" `Quick
+      test_heuristic_is_logged_durably;
+    Alcotest.test_case "matching heuristic still acknowledged" `Quick
+      test_heuristic_decision_acknowledged_normally_when_matching;
+  ]

@@ -1,0 +1,233 @@
+(* Tests of the key-value resource manager: transactional visibility,
+   prepare/commit/abort, crash recovery, shared-log behaviour. *)
+
+module E = Simkernel.Engine
+module K = Kvstore
+module L = Wal.Log
+
+let mk () =
+  let e = E.create () in
+  let wal = L.create e ~node:"rm" () in
+  (e, wal, K.create e ~name:"rm" ~wal ())
+
+let vote = Alcotest.of_pp (fun ppf v ->
+    Format.pp_print_string ppf
+      (match v with
+      | K.Vote_yes -> "yes"
+      | K.Vote_read_only -> "read-only"
+      | K.Vote_no -> "no"))
+
+let test_put_get_own_write () =
+  let _e, _w, kv = mk () in
+  Alcotest.(check bool) "put ok" true (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  Alcotest.(check (option string)) "sees own write" (Some "v") (K.get kv ~txn:"t1" "k")
+
+let test_uncommitted_invisible_after_abort () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.abort kv ~txn:"t1" (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "write rolled back" None (K.committed_value kv "k")
+
+let test_commit_applies () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "committed" (Some "v") (K.committed_value kv "k")
+
+let test_delete () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check bool) "delete ok" true (K.delete kv ~txn:"t2" ~key:"k");
+  Alcotest.(check (option string)) "own delete visible" None (K.get kv ~txn:"t2" "k");
+  Alcotest.(check (option string)) "still committed for others" (Some "v")
+    (K.committed_value kv "k");
+  K.commit kv ~txn:"t2" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "delete committed" None (K.committed_value kv "k")
+
+let test_last_write_wins_within_txn () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v1");
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v2");
+  Alcotest.(check (option string)) "latest uncommitted wins" (Some "v2")
+    (K.get kv ~txn:"t1" "k");
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "latest committed" (Some "v2")
+    (K.committed_value kv "k")
+
+let test_write_conflict_blocked () =
+  let _e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  Alcotest.(check bool) "conflicting put refused" false
+    (K.put kv ~txn:"t2" ~key:"k" ~value:"w")
+
+let test_read_only_vote () =
+  let e, _w, kv = mk () in
+  ignore (K.get kv ~txn:"t1" "k");
+  let v = ref None in
+  K.prepare kv ~txn:"t1" ~force:true (fun x -> v := Some x);
+  E.run e;
+  Alcotest.(check (option vote)) "read-only vote" (Some K.Vote_read_only) !v;
+  Alcotest.(check int) "no log writes for read-only" 0 (L.stats (K.wal kv)).L.writes
+
+let test_read_only_releases_locks () =
+  let e, _w, kv = mk () in
+  ignore (K.get kv ~txn:"t1" "k");
+  K.prepare kv ~txn:"t1" ~force:true (fun _ -> ());
+  E.run e;
+  Alcotest.(check bool) "lock released at read-only vote" true
+    (K.put kv ~txn:"t2" ~key:"k" ~value:"v")
+
+let test_prepare_votes_yes_and_forces () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  let v = ref None in
+  K.prepare kv ~txn:"t1" ~force:true (fun x -> v := Some x);
+  Alcotest.(check (option vote)) "vote waits for force" None !v;
+  E.run e;
+  Alcotest.(check (option vote)) "yes" (Some K.Vote_yes) !v;
+  Alcotest.(check int) "prepared forced" 1 (L.stats (K.wal kv)).L.forced_writes
+
+let test_prepare_shared_log_no_force () =
+  let _e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  let v = ref None in
+  K.prepare kv ~txn:"t1" ~force:false (fun x -> v := Some x);
+  Alcotest.(check (option vote)) "immediate yes without force" (Some K.Vote_yes) !v;
+  Alcotest.(check int) "no forced writes" 0 (L.stats (K.wal kv)).L.forced_writes
+
+let test_commit_releases_locks () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check bool) "lock free after commit" true
+    (K.put kv ~txn:"t2" ~key:"k" ~value:"w")
+
+let test_crash_wipes_unforced_state () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.commit kv ~txn:"t1" ~force:false (fun () -> ());
+  E.run e;
+  (* commit applied in memory but never forced: a crash must lose it *)
+  L.crash (K.wal kv);
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (option string)) "unforced commit lost" None
+    (K.committed_value kv "k")
+
+let test_recovery_redoes_committed () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"a" ~value:"1");
+  ignore (K.put kv ~txn:"t1" ~key:"b" ~value:"2");
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (list (pair string string))) "state rebuilt from log"
+    [ ("a", "1"); ("b", "2") ]
+    (K.committed_bindings kv)
+
+let test_recovery_in_doubt () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.prepare kv ~txn:"t1" ~force:true (fun _ -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (list string)) "prepared txn in doubt" [ "t1" ] (K.in_doubt kv);
+  Alcotest.(check (option string)) "write not applied" None (K.committed_value kv "k");
+  (* the TM resolves it with commit: the retained write set applies *)
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "in-doubt write applied on commit" (Some "v")
+    (K.committed_value kv "k");
+  Alcotest.(check (list string)) "no longer in doubt" [] (K.in_doubt kv)
+
+let test_recovery_in_doubt_abort () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.prepare kv ~txn:"t1" ~force:true (fun _ -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  K.abort kv ~txn:"t1" (fun () -> ());
+  Alcotest.(check (option string)) "in-doubt write dropped on abort" None
+    (K.committed_value kv "k");
+  Alcotest.(check (list string)) "resolved" [] (K.in_doubt kv)
+
+let test_recovery_ignores_aborted () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  K.abort kv ~txn:"t1" (fun () -> ());
+  L.force (K.wal kv) (Wal.Log_record.make ~txn:"x" ~node:"rm" Wal.Log_record.End)
+    (fun () -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (option string)) "aborted write not redone" None
+    (K.committed_value kv "k");
+  Alcotest.(check (list string)) "nothing in doubt" [] (K.in_doubt kv)
+
+let test_payload_roundtrip_special_chars () =
+  let e, _w, kv = mk () in
+  let key = "k:with=strange 1:chars" and value = "v:1:2=3\nnewline" in
+  ignore (K.put kv ~txn:"t1" ~key ~value);
+  K.commit kv ~txn:"t1" ~force:true (fun () -> ());
+  E.run e;
+  K.crash kv;
+  K.recover kv;
+  Alcotest.(check (option string)) "length-prefixed payload survives recovery"
+    (Some value) (K.committed_value kv key)
+
+let test_is_updated () =
+  let _e, _w, kv = mk () in
+  Alcotest.(check bool) "fresh txn not updated" false (K.is_updated kv ~txn:"t1");
+  ignore (K.get kv ~txn:"t1" "k");
+  Alcotest.(check bool) "reads don't count" false (K.is_updated kv ~txn:"t1");
+  ignore (K.put kv ~txn:"t1" ~key:"k" ~value:"v");
+  Alcotest.(check bool) "writes count" true (K.is_updated kv ~txn:"t1")
+
+let test_two_txns_isolated () =
+  let e, _w, kv = mk () in
+  ignore (K.put kv ~txn:"t1" ~key:"a" ~value:"1");
+  ignore (K.put kv ~txn:"t2" ~key:"b" ~value:"2");
+  K.abort kv ~txn:"t1" (fun () -> ());
+  K.commit kv ~txn:"t2" ~force:true (fun () -> ());
+  E.run e;
+  Alcotest.(check (option string)) "t1 aborted" None (K.committed_value kv "a");
+  Alcotest.(check (option string)) "t2 committed" (Some "2") (K.committed_value kv "b")
+
+let suite =
+  [
+    Alcotest.test_case "put/get own write" `Quick test_put_get_own_write;
+    Alcotest.test_case "abort rolls back" `Quick test_uncommitted_invisible_after_abort;
+    Alcotest.test_case "commit applies" `Quick test_commit_applies;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "last write wins in txn" `Quick test_last_write_wins_within_txn;
+    Alcotest.test_case "write conflict blocked" `Quick test_write_conflict_blocked;
+    Alcotest.test_case "read-only vote" `Quick test_read_only_vote;
+    Alcotest.test_case "read-only releases locks" `Quick test_read_only_releases_locks;
+    Alcotest.test_case "prepare votes yes and forces" `Quick
+      test_prepare_votes_yes_and_forces;
+    Alcotest.test_case "shared-log prepare skips force" `Quick
+      test_prepare_shared_log_no_force;
+    Alcotest.test_case "commit releases locks" `Quick test_commit_releases_locks;
+    Alcotest.test_case "crash wipes unforced state" `Quick
+      test_crash_wipes_unforced_state;
+    Alcotest.test_case "recovery redoes committed" `Quick test_recovery_redoes_committed;
+    Alcotest.test_case "recovery leaves prepared in doubt" `Quick
+      test_recovery_in_doubt;
+    Alcotest.test_case "in-doubt abort drops writes" `Quick
+      test_recovery_in_doubt_abort;
+    Alcotest.test_case "recovery ignores aborted" `Quick test_recovery_ignores_aborted;
+    Alcotest.test_case "payload roundtrip special chars" `Quick
+      test_payload_roundtrip_special_chars;
+    Alcotest.test_case "is_updated" `Quick test_is_updated;
+    Alcotest.test_case "two txns isolated" `Quick test_two_txns_isolated;
+  ]

@@ -1,0 +1,129 @@
+(* 2PC behaviour over a lossy network: single lost messages must never
+   break atomicity - the protocol either retransmits its way to the
+   outcome or aborts consistently via timeouts and presumptions. *)
+
+open Tpc.Types
+open Test_util
+module R = Tpc.Run
+
+(* Set up a two-member world, lose the [nth] message in one direction,
+   run the commit bounded, and return metrics + world. *)
+let lossy_run ?(protocol = Presumed_abort) ~src ~dst ~nth () =
+  let config = cfg ~protocol ~retry_interval:25.0 () in
+  let w = R.setup ~config (two ()) in
+  Tpc.Net.drop_nth w.R.net ~src ~dst ~nth;
+  R.perform_work w ~txn:"txn-1";
+  Tpc.Participant.begin_commit (R.participant w "C") ~txn:"txn-1";
+  Simkernel.Engine.run_until w.R.engine 3_000.0;
+  w
+
+let test_lost_prepare_aborts () =
+  (* the Prepare never arrives: the coordinator's vote timeout presumes NO *)
+  let w = lossy_run ~src:"C" ~dst:"S" ~nth:1 () in
+  Alcotest.(check (option outcome)) "aborts" (Some Aborted) w.R.outcome;
+  Alcotest.(check (option string)) "S never updated durably" None
+    (Kvstore.committed_value (R.kv w "S") "acct-S")
+
+let test_lost_vote_aborts () =
+  (* S prepared and voted, the vote is lost: the coordinator aborts on
+     timeout; the in-doubt S learns the abort (inquiry or abort message) *)
+  let w = lossy_run ~src:"S" ~dst:"C" ~nth:1 () in
+  Alcotest.(check (option outcome)) "aborts" (Some Aborted) w.R.outcome;
+  Alcotest.(check (option string)) "S rolled back" None
+    (Kvstore.committed_value (R.kv w "S") "acct-S")
+
+let test_lost_commit_retransmitted () =
+  (* the Commit decision is lost: the coordinator retransmits until acked *)
+  let w = lossy_run ~src:"C" ~dst:"S" ~nth:2 () in
+  Alcotest.(check (option outcome)) "commits" (Some Committed) w.R.outcome;
+  Alcotest.(check (option string)) "S applied the update"
+    (Some "upd-by-txn-1")
+    (Kvstore.committed_value (R.kv w "S") "acct-S");
+  (* at least two Commit sends are in the trace *)
+  let commits =
+    List.filter
+      (function
+        | Tpc.Trace.Send { src = "C"; label = "Commit"; _ } -> true
+        | _ -> false)
+      (Tpc.Trace.events w.R.trace)
+  in
+  Alcotest.(check bool) "commit retransmitted" true (List.length commits >= 2)
+
+let test_lost_ack_reacknowledged () =
+  (* the Ack is lost: the coordinator retransmits the decision and the
+     finished subordinate re-acknowledges from its ended-transaction memory *)
+  let w = lossy_run ~src:"S" ~dst:"C" ~nth:2 () in
+  Alcotest.(check (option outcome)) "commits" (Some Committed) w.R.outcome;
+  let acks =
+    List.filter
+      (function
+        | Tpc.Trace.Send { src = "S"; label = "Ack"; _ } -> true
+        | _ -> false)
+      (Tpc.Trace.events w.R.trace)
+  in
+  Alcotest.(check bool) "second ack sent" true (List.length acks >= 2);
+  Alcotest.(check (option string)) "applied exactly once"
+    (Some "upd-by-txn-1")
+    (Kvstore.committed_value (R.kv w "S") "acct-S")
+
+let test_lost_commit_basic_protocol () =
+  let w = lossy_run ~protocol:Basic ~src:"C" ~dst:"S" ~nth:2 () in
+  Alcotest.(check (option outcome)) "basic also recovers" (Some Committed)
+    w.R.outcome;
+  Alcotest.(check (option string)) "consistent" (Some "upd-by-txn-1")
+    (Kvstore.committed_value (R.kv w "S") "acct-S")
+
+let test_lost_commit_pn_protocol () =
+  let w = lossy_run ~protocol:Presumed_nothing ~src:"C" ~dst:"S" ~nth:2 () in
+  Alcotest.(check (option outcome)) "PN also recovers" (Some Committed)
+    w.R.outcome;
+  Alcotest.(check (option string)) "consistent" (Some "upd-by-txn-1")
+    (Kvstore.committed_value (R.kv w "S") "acct-S")
+
+(* Property: losing any single protocol message in either direction of a
+   three-member chain never yields divergent decided states. *)
+let prop_any_single_loss_safe =
+  let gen =
+    QCheck.make
+      ~print:(fun (p, src, dst, nth) ->
+        Printf.sprintf "(%s, drop %s->%s #%d)" (protocol_to_string p) src dst nth)
+      QCheck.Gen.(
+        oneofl [ Basic; Presumed_abort; Presumed_nothing ] >>= fun p ->
+        oneofl [ ("C", "M"); ("M", "C"); ("M", "S"); ("S", "M") ]
+        >>= fun (src, dst) ->
+        int_range 1 3 >>= fun nth -> return (p, src, dst, nth))
+  in
+  QCheck.Test.make ~name:"any single message loss preserves atomicity"
+    ~count:80 gen (fun (protocol, src, dst, nth) ->
+      let config = cfg ~protocol ~retry_interval:25.0 () in
+      let w =
+        R.setup ~config
+          (Tree (member "C", [ Tree (member "M", [ Tree (member "S", []) ]) ]))
+      in
+      Tpc.Net.drop_nth w.R.net ~src ~dst ~nth;
+      R.perform_work w ~txn:"txn-1";
+      Tpc.Participant.begin_commit (R.participant w "C") ~txn:"txn-1";
+      Simkernel.Engine.run_until w.R.engine 10_000.0;
+      (* decided members (not in doubt) must agree *)
+      let decided =
+        List.filter_map
+          (fun (name, n) ->
+            if Kvstore.in_doubt n.R.kv <> [] then None
+            else Some (Kvstore.committed_value n.R.kv ("acct-" ^ name) <> None))
+          w.R.nodes
+      in
+      match decided with
+      | [] -> true
+      | x :: rest -> List.for_all (fun y -> y = x) rest)
+
+let suite =
+  [
+    Alcotest.test_case "lost Prepare aborts" `Quick test_lost_prepare_aborts;
+    Alcotest.test_case "lost Vote aborts" `Quick test_lost_vote_aborts;
+    Alcotest.test_case "lost Commit retransmitted" `Quick
+      test_lost_commit_retransmitted;
+    Alcotest.test_case "lost Ack re-acknowledged" `Quick test_lost_ack_reacknowledged;
+    Alcotest.test_case "lost Commit (basic)" `Quick test_lost_commit_basic_protocol;
+    Alcotest.test_case "lost Commit (PN)" `Quick test_lost_commit_pn_protocol;
+    QCheck_alcotest.to_alcotest prop_any_single_loss_safe;
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "tpc"
+    [
+      ("engine", Test_engine.suite);
+      ("types-msg", Test_types_msg.suite);
+      ("rng", Test_rng.suite);
+      ("wal", Test_wal.suite);
+      ("netsim", Test_netsim.suite);
+      ("lockmgr", Test_lockmgr.suite);
+      ("kvstore", Test_kvstore.suite);
+      ("cost-model", Test_cost_model.suite);
+      ("trace", Test_trace.suite);
+      ("protocol", Test_protocol.suite);
+      ("optimizations", Test_optimizations.suite);
+      ("failures", Test_failures.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("crash-matrix", Test_crash_matrix.suite);
+      ("sequences", Test_sequences.suite);
+      ("lossy", Test_lossy.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("contention", Test_contention.suite);
+      ("stream", Test_stream.suite);
+      ("properties", Test_properties.suite);
+    ]

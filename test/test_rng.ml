@@ -1,0 +1,106 @@
+(* Tests of the deterministic RNG. *)
+
+module R = Simkernel.Det_rng
+
+let test_determinism () =
+  let a = R.create ~seed:42 and b = R.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same seed, same stream" (R.int a 1000) (R.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = R.create ~seed:1 and b = R.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> R.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> R.int b 1_000_000) in
+  Alcotest.(check bool) "different seeds diverge" true (xs <> ys)
+
+let test_int_bounds () =
+  let r = R.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = R.int r 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_covers_range () =
+  let r = R.create ~seed:3 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(R.int r 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 buckets hit" true (Array.for_all (fun x -> x) seen)
+
+let test_float_bounds () =
+  let r = R.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let v = R.float r 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_split_independence () =
+  let parent = R.create ~seed:5 in
+  let child = R.split parent in
+  let xs = List.init 20 (fun _ -> R.int parent 1_000_000) in
+  let ys = List.init 20 (fun _ -> R.int child 1_000_000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_exponential_positive () =
+  let r = R.create ~seed:11 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "exponential sample > 0" true
+      (R.exponential r ~mean:3.0 > 0.0)
+  done
+
+let test_exponential_mean () =
+  let r = R.create ~seed:13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. R.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample mean %.2f close to 4.0" mean)
+    true
+    (abs_float (mean -. 4.0) < 0.2)
+
+let test_shuffle_is_permutation () =
+  let r = R.create ~seed:17 in
+  let arr = Array.init 50 (fun i -> i) in
+  R.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle preserves elements"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_pick_member () =
+  let r = R.create ~seed:19 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let v = R.pick r arr in
+    Alcotest.(check bool) "pick returns a member" true
+      (Array.exists (fun x -> x = v) arr)
+  done
+
+let test_bool_both_values () =
+  let r = R.create ~seed:23 in
+  let t = ref false and f = ref false in
+  for _ = 1 to 200 do
+    if R.bool r then t := true else f := true
+  done;
+  Alcotest.(check bool) "both booleans occur" true (!t && !f)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "pick returns a member" `Quick test_pick_member;
+    Alcotest.test_case "bool takes both values" `Quick test_bool_both_values;
+  ]

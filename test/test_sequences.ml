@@ -1,0 +1,221 @@
+(* Multi-transaction sequences through one complex: the dynamic
+   OK-TO-LEAVE-OUT protocol (Section 4, "Leaving Inactive Partners Out"),
+   repeated commits, and cross-transaction state. *)
+
+open Tpc.Types
+open Test_util
+module R = Tpc.Run
+
+let server name = member ~leave_out_ok:true name
+
+(* coordinator with one always-active member and one pure server *)
+let tree = Tree (member "C", [ Tree (member "A", []); Tree (server "S", []) ])
+
+let work_plan plan ~txn ~node =
+  match List.assoc_opt (txn, node) plan with
+  | Some w -> w
+  | None -> R.Work_update
+
+let leave_out_cfg = cfg ~opts:{ no_opts with leave_out = true } ()
+
+let test_idle_suspended_member_left_out () =
+  (* txn-1: everyone works, S's YES carries OK-TO-LEAVE-OUT and commits;
+     txn-2: S has nothing to do and is left out entirely *)
+  let plan = [ (("t2", "S"), R.Work_none) ] in
+  let results, w =
+    R.commit_sequence ~config:leave_out_cfg ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2" ] tree
+  in
+  let m1 = List.assoc "t1" results and m2 = List.assoc "t2" results in
+  Alcotest.(check (option outcome)) "t1 commits" (Some Committed)
+    m1.Tpc.Metrics.outcome;
+  Alcotest.(check (option outcome)) "t2 commits" (Some Committed)
+    m2.Tpc.Metrics.outcome;
+  (* t1: 3 members = 8 flows; t2: S left out = 4 flows *)
+  Alcotest.(check int) "t1 engages everyone" 8 m1.Tpc.Metrics.flows;
+  Alcotest.(check int) "t2 leaves S out" 4 m2.Tpc.Metrics.flows;
+  (* S saw no message at all in t2 *)
+  let to_s =
+    List.filter
+      (function
+        | Tpc.Trace.Send { dst = "S"; _ } | Tpc.Trace.Send { src = "S"; _ } ->
+            true
+        | _ -> false)
+      (Tpc.Trace.events w.R.trace)
+  in
+  Alcotest.(check int) "no flow touches S in t2" 0 (List.length to_s)
+
+let test_active_member_never_left_out () =
+  (* a suspended member that receives work again is re-engaged *)
+  let plan = [ (("t2", "S"), R.Work_none) ] in
+  let results, _w =
+    R.commit_sequence ~config:leave_out_cfg ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2"; "t3" ] tree
+  in
+  let m3 = List.assoc "t3" results in
+  Alcotest.(check int) "t3 gives S work again: full tree" 8
+    m3.Tpc.Metrics.flows;
+  Alcotest.(check (option outcome)) "t3 commits" (Some Committed)
+    m3.Tpc.Metrics.outcome
+
+let test_suspension_is_a_protected_variable () =
+  (* the OK-TO-LEAVE-OUT indication takes effect only if the transaction
+     commits: after an aborted t1, an idle S must still be engaged in t2 *)
+  let abort_tree =
+    Tree (member "C", [ Tree (member ~vote_no:true "A", []); Tree (server "S", []) ])
+  in
+  let plan = [ (("t2", "S"), R.Work_none) ] in
+  let results, _w =
+    R.commit_sequence ~config:leave_out_cfg ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2" ] abort_tree
+  in
+  let m1 = List.assoc "t1" results and m2 = List.assoc "t2" results in
+  Alcotest.(check (option outcome)) "t1 aborts" (Some Aborted)
+    m1.Tpc.Metrics.outcome;
+  (* S was not suspended (t1 aborted), so t2 must contact it *)
+  Alcotest.(check bool) "t2 still engages S" true (m2.Tpc.Metrics.flows > 4)
+
+let test_non_server_member_never_suspended () =
+  (* A (no leave_out_ok declaration) idle in t2: still engaged *)
+  let plan = [ (("t2", "A"), R.Work_none) ] in
+  let results, _w =
+    R.commit_sequence ~config:leave_out_cfg ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2" ] tree
+  in
+  let m2 = List.assoc "t2" results in
+  Alcotest.(check int) "A engaged despite being idle" 8 m2.Tpc.Metrics.flows
+
+let test_leave_out_requires_opt_in_sequences () =
+  let plan = [ (("t2", "S"), R.Work_none) ] in
+  let results, _w =
+    R.commit_sequence ~config:(cfg ()) ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2" ] tree
+  in
+  let m2 = List.assoc "t2" results in
+  Alcotest.(check int) "without the optimization S is engaged" 8
+    m2.Tpc.Metrics.flows
+
+let test_whole_subtree_must_be_idle () =
+  (* a suspended intermediate server over an active member cannot be left
+     out: "all resources subordinate to the partner are similarly
+     suspended" *)
+  let deep =
+    Tree
+      ( member "C",
+        [ Tree (server "mid", [ Tree (server "leaf", []) ]) ] )
+  in
+  let plan = [ (("t2", "mid"), R.Work_none) (* leaf still works *) ] in
+  let results, _w =
+    R.commit_sequence ~config:leave_out_cfg ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2" ] deep
+  in
+  let m2 = List.assoc "t2" results in
+  Alcotest.(check (option outcome)) "t2 commits" (Some Committed)
+    m2.Tpc.Metrics.outcome;
+  Alcotest.(check int) "mid engaged because its leaf has work" 8
+    m2.Tpc.Metrics.flows
+
+let test_fully_idle_subtree_left_out () =
+  let deep =
+    Tree
+      ( member "C",
+        [
+          Tree (member "A", []);
+          Tree (server "mid", [ Tree (server "leaf", []) ]);
+        ] )
+  in
+  let plan = [ (("t2", "mid"), R.Work_none); (("t2", "leaf"), R.Work_none) ] in
+  let results, _w =
+    R.commit_sequence ~config:leave_out_cfg ~work:(work_plan plan)
+      ~txns:[ "t1"; "t2" ] deep
+  in
+  let m1 = List.assoc "t1" results and m2 = List.assoc "t2" results in
+  Alcotest.(check int) "t1 engages all four members" 12 m1.Tpc.Metrics.flows;
+  Alcotest.(check int) "t2 leaves the whole idle subtree out" 4
+    m2.Tpc.Metrics.flows
+
+let test_repeated_commits_accumulate_state () =
+  (* three commits through the same complex: all data lands, counts are
+     identical per transaction *)
+  let results, w =
+    R.commit_sequence ~config:(cfg ())
+      ~work:(fun ~txn:_ ~node:_ -> R.Work_update)
+      ~txns:[ "t1"; "t2"; "t3" ] tree
+  in
+  List.iter
+    (fun (txn, m) ->
+      Alcotest.(check (option outcome)) (txn ^ " commits") (Some Committed)
+        m.Tpc.Metrics.outcome;
+      Alcotest.(check int) (txn ^ " costs 8 flows") 8 m.Tpc.Metrics.flows)
+    results;
+  (* the last writer wins on each member's account *)
+  Alcotest.(check (option string)) "final state is t3's"
+    (Some "upd-by-t3")
+    (Kvstore.committed_value (R.kv w "A") "acct-A")
+
+let test_read_only_changes_per_transaction () =
+  (* the same member can be an updater in one transaction and a read-only
+     voter in the next - the optimization is per-transaction, not static *)
+  let plan = [ (("t2", "S"), R.Work_read) ] in
+  let results, _w =
+    R.commit_sequence
+      ~config:(cfg ~opts:{ no_opts with read_only = true } ())
+      ~work:(work_plan plan) ~txns:[ "t1"; "t2" ] tree
+  in
+  let m1 = List.assoc "t1" results and m2 = List.assoc "t2" results in
+  Alcotest.(check int) "t1: full participation" 8 m1.Tpc.Metrics.flows;
+  Alcotest.(check int) "t2: S votes read-only (-2 flows)" 6 m2.Tpc.Metrics.flows
+
+let test_crash_forgets_suspension () =
+  (* suspension is conversation state: a parent crash kills the sessions,
+     so a restarted coordinator conservatively re-engages the previously
+     suspended server even if it is idle *)
+  let plan = [ (("t2", "S"), R.Work_none) ] in
+  let w = R.setup ~config:leave_out_cfg tree in
+  (* t1: normal commit suspends S *)
+  R.perform_work w ~txn:"t1";
+  Tpc.Participant.begin_commit (R.participant w "C") ~txn:"t1";
+  Simkernel.Engine.run w.R.engine;
+  Alcotest.(check bool) "S suspended after t1" true
+    (Tpc.Participant.is_suspended (R.participant w "C") ~child:"S");
+  (* the coordinator crashes and restarts between transactions *)
+  Tpc.Participant.force_crash (R.participant w "C");
+  Tpc.Participant.force_restart (R.participant w "C");
+  Simkernel.Engine.run w.R.engine;
+  Alcotest.(check bool) "suspension forgotten after crash" false
+    (Tpc.Participant.is_suspended (R.participant w "C") ~child:"S");
+  (* t2 with S idle: S is engaged anyway *)
+  Tpc.Trace.clear w.R.trace;
+  Tpc.Participant.clear_idle_children (R.participant w "C");
+  (match work_plan plan ~txn:"t2" ~node:"S" with
+  | R.Work_none -> Tpc.Participant.note_idle_child (R.participant w "C") ~child:"S"
+  | _ -> ());
+  R.perform_work w ~txn:"t2";
+  Tpc.Participant.begin_commit (R.participant w "C") ~txn:"t2";
+  Simkernel.Engine.run w.R.engine;
+  Alcotest.(check int) "t2 re-engages S despite idleness" 8
+    (Tpc.Trace.flows w.R.trace)
+
+let suite =
+  [
+    Alcotest.test_case "idle suspended member left out" `Quick
+      test_idle_suspended_member_left_out;
+    Alcotest.test_case "re-engaged when given work" `Quick
+      test_active_member_never_left_out;
+    Alcotest.test_case "suspension is a protected variable" `Quick
+      test_suspension_is_a_protected_variable;
+    Alcotest.test_case "non-server member never suspended" `Quick
+      test_non_server_member_never_suspended;
+    Alcotest.test_case "leave-out requires the optimization" `Quick
+      test_leave_out_requires_opt_in_sequences;
+    Alcotest.test_case "whole subtree must be idle" `Quick
+      test_whole_subtree_must_be_idle;
+    Alcotest.test_case "fully idle subtree left out" `Quick
+      test_fully_idle_subtree_left_out;
+    Alcotest.test_case "repeated commits accumulate state" `Quick
+      test_repeated_commits_accumulate_state;
+    Alcotest.test_case "read-only is per-transaction" `Quick
+      test_read_only_changes_per_transaction;
+    Alcotest.test_case "crash forgets suspension" `Quick
+      test_crash_forgets_suspension;
+  ]

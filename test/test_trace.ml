@@ -1,0 +1,107 @@
+(* The trace module: counting conventions and diagram rendering. *)
+
+module T = Tpc.Trace
+
+let send ?(protocol = true) ~time src dst label =
+  T.Send { time; src; dst; label; protocol }
+
+let log_write ?(rm = false) ~time node kind forced =
+  T.Log_write { time; node; kind; forced; rm }
+
+let sample () =
+  let t = T.create () in
+  T.record t (send ~time:0.0 "a" "b" "Prepare");
+  T.record t (log_write ~time:1.0 "b" Wal.Log_record.Prepared true);
+  T.record t (send ~time:1.5 "b" "a" "Vote yes");
+  T.record t (log_write ~time:2.5 "a" Wal.Log_record.Committed true);
+  T.record t (send ~time:3.0 "a" "b" "Commit");
+  T.record t (log_write ~time:4.0 "b" Wal.Log_record.Committed true);
+  T.record t (log_write ~time:4.0 "b" Wal.Log_record.End false);
+  T.record t (send ~time:4.5 "b" "a" "Ack");
+  T.record t (log_write ~time:5.5 "a" Wal.Log_record.End false);
+  T.record t
+    (T.Complete { time = 5.5; node = "a"; outcome = Tpc.Types.Committed; pending = false });
+  t
+
+let test_flow_counting () =
+  let t = sample () in
+  Alcotest.(check int) "four protocol flows" 4 (T.flows t);
+  T.record t (send ~protocol:false ~time:6.0 "a" "b" "Data");
+  Alcotest.(check int) "data flows not counted" 4 (T.flows t)
+
+let test_write_counting () =
+  let t = sample () in
+  Alcotest.(check int) "five TM writes" 5 (T.tm_writes t);
+  Alcotest.(check int) "three forced" 3 (T.tm_forced_writes t);
+  (* resource-manager records are excluded from the paper's counts *)
+  T.record t (log_write ~rm:true ~time:6.0 "b" Wal.Log_record.Rm_update false);
+  Alcotest.(check int) "rm writes excluded" 5 (T.tm_writes t);
+  Alcotest.(check int) "but included on demand" 6
+    (T.count_log_writes ~include_rm:true t)
+
+let test_per_node_counting () =
+  let t = sample () in
+  Alcotest.(check int) "a sent two flows" 2 (T.node_flows t "a");
+  Alcotest.(check int) "b wrote three records" 3 (T.node_writes t "b");
+  Alcotest.(check int) "b forced two" 2 (T.node_writes ~forced_only:true t "b")
+
+let test_completion_time () =
+  let t = sample () in
+  Alcotest.(check (option (float 1e-9))) "completion recorded" (Some 5.5)
+    (T.completion_time t "a");
+  Alcotest.(check (option (float 1e-9))) "no completion for b" None
+    (T.completion_time t "b")
+
+let test_events_in_order () =
+  let t = sample () in
+  let times = List.map T.event_time (T.events t) in
+  Alcotest.(check bool) "events returned oldest first" true
+    (List.sort compare times = times)
+
+let test_clear () =
+  let t = sample () in
+  T.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (T.events t));
+  Alcotest.(check int) "flows reset" 0 (T.flows t)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_diagram_rendering () =
+  let t = sample () in
+  let d = T.sequence_diagram t ~nodes:[ "a"; "b" ] in
+  Alcotest.(check bool) "header row" true (contains d "a");
+  Alcotest.(check bool) "prepare arrow" true (contains d "Prepare");
+  Alcotest.(check bool) "rightward arrow head" true (contains d ">");
+  Alcotest.(check bool) "leftward arrow head" true (contains d "<");
+  Alcotest.(check bool) "forced write marker" true (contains d "*log committed");
+  Alcotest.(check bool) "non-forced write marker" true (contains d "log end")
+
+let test_diagram_unknown_node_ignored () =
+  let t = T.create () in
+  T.record t (send ~time:0.0 "ghost" "b" "Prepare");
+  (* rendering with a node list that lacks "ghost" must not raise *)
+  let d = T.sequence_diagram t ~nodes:[ "a"; "b" ] in
+  Alcotest.(check bool) "renders without the unknown arrow" true
+    (not (contains d "Prepare"))
+
+let test_to_string_lines () =
+  let t = sample () in
+  let lines = String.split_on_char '\n' (T.to_string t) in
+  Alcotest.(check int) "one line per event" 10 (List.length lines)
+
+let suite =
+  [
+    Alcotest.test_case "flow counting" `Quick test_flow_counting;
+    Alcotest.test_case "write counting" `Quick test_write_counting;
+    Alcotest.test_case "per-node counting" `Quick test_per_node_counting;
+    Alcotest.test_case "completion time" `Quick test_completion_time;
+    Alcotest.test_case "events in order" `Quick test_events_in_order;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "diagram rendering" `Quick test_diagram_rendering;
+    Alcotest.test_case "diagram ignores unknown nodes" `Quick
+      test_diagram_unknown_node_ignored;
+    Alcotest.test_case "to_string lines" `Quick test_to_string_lines;
+  ]

@@ -1,0 +1,49 @@
+(* Shared helpers for the protocol-level test suites. *)
+
+open Tpc.Types
+
+let counts = Alcotest.of_pp Tpc.Cost_model.pp_counts
+
+let outcome =
+  Alcotest.of_pp (fun ppf o -> Format.pp_print_string ppf (outcome_to_string o))
+
+let cfg ?(protocol = Presumed_abort) ?(opts = no_opts) ?(latency = 1.0)
+    ?(faults = []) ?(retry_interval = 25.0) ?(max_retries = 40) ?group_commit ()
+    =
+  {
+    default_config with
+    protocol;
+    opts;
+    latency;
+    faults;
+    retry_interval;
+    max_retries;
+    group_commit;
+  }
+
+(* A two-member tree: coordinator [c] over subordinate [s]. *)
+let two ?(c = member "C") ?(s = member "S") () = Tree (c, [ Tree (s, []) ])
+
+(* Chain of three: C -> M -> S. *)
+let three ?(c = member "C") ?(m = member "M") ?(s = member "S") () =
+  Tree (c, [ Tree (m, [ Tree (s, []) ]) ])
+
+let run ?config ?txn tree = Tpc.Run.commit_tree ?config ?txn tree
+
+let check_outcome name expected (metrics : Tpc.Metrics.t) =
+  Alcotest.check (Alcotest.option outcome) name expected metrics.Tpc.Metrics.outcome
+
+let check_counts name expected (metrics : Tpc.Metrics.t) =
+  Alcotest.check counts name expected (Tpc.Metrics.counts metrics)
+
+let check_consistent name w ~txn ~outcome =
+  Alcotest.(check bool) name true (Tpc.Run.consistent w ~txn ~outcome)
+
+(* Per-side counters for Table 2 style checks. *)
+let side_counts (w : Tpc.Run.world) node =
+  ( Tpc.Trace.node_flows w.Tpc.Run.trace node,
+    Tpc.Trace.node_writes w.Tpc.Run.trace node,
+    Tpc.Trace.node_writes ~forced_only:true w.Tpc.Run.trace node )
+
+let check_side name expected w node =
+  Alcotest.(check (triple int int int)) name expected (side_counts w node)

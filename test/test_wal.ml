@@ -1,0 +1,207 @@
+(* Tests of the write-ahead log: force semantics, crash behaviour, group
+   commit batching, statistics. *)
+
+module E = Simkernel.Engine
+module L = Wal.Log
+module R = Wal.Log_record
+
+let rec_kinds log = List.map (fun (r : R.t) -> r.kind) (L.durable log)
+
+let mk ?(config = L.default_config) () =
+  let e = E.create () in
+  (e, L.create e ~node:"n" ~config ())
+
+let record kind = R.make ~txn:"t1" ~node:"n" kind
+
+let test_append_is_volatile () =
+  let _e, log = mk () in
+  L.append log (record R.End);
+  Alcotest.(check int) "nothing durable yet" 0 (List.length (L.durable log));
+  Alcotest.(check int) "but visible in all_records" 1
+    (List.length (L.all_records log))
+
+let test_force_hardens () =
+  let e, log = mk () in
+  let done_ = ref false in
+  L.force log (record R.Committed) (fun () -> done_ := true);
+  Alcotest.(check bool) "continuation waits for the I/O" false !done_;
+  E.run e;
+  Alcotest.(check bool) "continuation ran" true !done_;
+  Alcotest.(check (list string)) "record durable" [ "committed" ]
+    (rec_kinds log |> List.map R.kind_to_string)
+
+let test_force_covers_earlier_appends () =
+  let e, log = mk () in
+  L.append log (record R.Prepared);
+  L.force log (record R.Committed) (fun () -> ());
+  E.run e;
+  Alcotest.(check int) "both records durable after one force" 2
+    (List.length (L.durable log))
+
+let test_crash_loses_buffer () =
+  let e, log = mk () in
+  L.force log (record R.Prepared) (fun () -> ());
+  E.run e;
+  L.append log (record R.Committed);
+  L.crash log;
+  Alcotest.(check (list string)) "only forced record survives" [ "prepared" ]
+    (rec_kinds log |> List.map R.kind_to_string);
+  Alcotest.(check int) "volatile tail gone from all_records" 1
+    (List.length (L.all_records log))
+
+let test_crash_drops_inflight_force () =
+  let e, log = mk () in
+  let done_ = ref false in
+  L.force log (record R.Committed) (fun () -> done_ := true);
+  L.crash log;
+  E.run e;
+  Alcotest.(check bool) "in-flight continuation dropped" false !done_;
+  Alcotest.(check int) "record not durable" 0 (List.length (L.durable log))
+
+let test_io_latency () =
+  let e, log = mk () in
+  let at = ref nan in
+  L.force log (record R.Committed) (fun () -> at := E.now e);
+  E.run e;
+  Alcotest.(check (float 1e-9)) "force completes after io_latency" 0.5 !at
+
+let test_stats_counts () =
+  let e, log = mk () in
+  L.append log (record R.Prepared);
+  L.force log (record R.Committed) (fun () -> ());
+  L.append log (record R.End);
+  E.run e;
+  let s = L.stats log in
+  Alcotest.(check int) "three writes" 3 s.L.writes;
+  Alcotest.(check int) "one forced write" 1 s.L.forced_writes;
+  Alcotest.(check int) "one physical I/O" 1 s.L.force_ios
+
+let test_reset_stats () =
+  let e, log = mk () in
+  L.force log (record R.Committed) (fun () -> ());
+  E.run e;
+  L.reset_stats log;
+  let s = L.stats log in
+  Alcotest.(check int) "writes reset" 0 s.L.writes;
+  Alcotest.(check int) "ios reset" 0 s.L.force_ios;
+  Alcotest.(check int) "durable records kept" 1 (List.length (L.durable log))
+
+let test_records_for_filters_by_txn () =
+  let e, log = mk () in
+  L.force log (R.make ~txn:"a" ~node:"n" R.Committed) (fun () -> ());
+  L.force log (R.make ~txn:"b" ~node:"n" R.Committed) (fun () -> ());
+  E.run e;
+  Alcotest.(check int) "one record for txn a" 1
+    (List.length (L.records_for log ~txn:"a"))
+
+let test_flush_without_record () =
+  let e, log = mk () in
+  L.append log (record R.Prepared);
+  let done_ = ref false in
+  L.flush log (fun () -> done_ := true);
+  E.run e;
+  Alcotest.(check bool) "flush continuation ran" true !done_;
+  Alcotest.(check int) "appended record durable" 1 (List.length (L.durable log))
+
+let test_flush_on_clean_log_is_immediate () =
+  let _e, log = mk () in
+  let done_ = ref false in
+  L.flush log (fun () -> done_ := true);
+  Alcotest.(check bool) "nothing to flush: immediate" true !done_
+
+let group_config size timeout =
+  { L.io_latency = 0.5; group = Some { L.size; timeout } }
+
+let test_group_commit_batches_by_size () =
+  let e, log = mk ~config:(group_config 3 100.0) () in
+  let done_count = ref 0 in
+  for _ = 1 to 3 do
+    L.force log (record R.Committed) (fun () -> incr done_count)
+  done;
+  E.run e;
+  Alcotest.(check int) "all three continuations ran" 3 !done_count;
+  Alcotest.(check int) "one physical I/O for the batch" 1 (L.stats log).L.force_ios;
+  Alcotest.(check int) "three forced writes recorded" 3
+    (L.stats log).L.forced_writes
+
+let test_group_commit_timeout_flushes_partial_batch () =
+  let e, log = mk ~config:(group_config 10 2.0) () in
+  let done_ = ref false in
+  L.force log (record R.Committed) (fun () -> done_ := true);
+  E.run_until e 1.0;
+  Alcotest.(check bool) "still waiting for the group" false !done_;
+  E.run e;
+  Alcotest.(check bool) "timer flushed the partial batch" true !done_;
+  Alcotest.(check int) "one I/O" 1 (L.stats log).L.force_ios
+
+let test_group_commit_multiple_batches () =
+  let e, log = mk ~config:(group_config 2 100.0) () in
+  for _ = 1 to 6 do
+    L.force log (record R.Committed) (fun () -> ())
+  done;
+  E.run e;
+  Alcotest.(check int) "six requests, three I/Os" 3 (L.stats log).L.force_ios
+
+let test_group_commit_crash_drops_batch () =
+  let e, log = mk ~config:(group_config 5 100.0) () in
+  let done_ = ref false in
+  L.force log (record R.Committed) (fun () -> done_ := true);
+  L.crash log;
+  E.run e;
+  Alcotest.(check bool) "batched continuation dropped on crash" false !done_;
+  Alcotest.(check int) "record lost" 0 (List.length (L.durable log))
+
+let test_group_commit_delays_commit () =
+  (* Table 1's group-commit disadvantage: individual transactions wait. *)
+  let e1, solo = mk () in
+  let t_solo = ref nan in
+  L.force solo (record R.Committed) (fun () -> t_solo := E.now e1);
+  E.run e1;
+  let e2, grouped = mk ~config:(group_config 8 4.0) () in
+  let t_grouped = ref nan in
+  L.force grouped (record R.Committed) (fun () -> t_grouped := E.now e2);
+  E.run e2;
+  Alcotest.(check bool)
+    (Printf.sprintf "grouped commit (%.1f) waits longer than solo (%.1f)"
+       !t_grouped !t_solo)
+    true (!t_grouped > !t_solo)
+
+let test_order_preserved () =
+  let e, log = mk () in
+  L.append log (record R.Prepared);
+  L.force log (record R.Committed) (fun () -> ());
+  L.append log (record R.End);
+  L.force log (record R.Agent) (fun () -> ());
+  E.run e;
+  Alcotest.(check (list string)) "log order is append order"
+    [ "prepared"; "committed"; "end"; "agent" ]
+    (List.map R.kind_to_string (rec_kinds log))
+
+let suite =
+  [
+    Alcotest.test_case "append is volatile" `Quick test_append_is_volatile;
+    Alcotest.test_case "force hardens" `Quick test_force_hardens;
+    Alcotest.test_case "force covers earlier appends" `Quick
+      test_force_covers_earlier_appends;
+    Alcotest.test_case "crash loses buffer" `Quick test_crash_loses_buffer;
+    Alcotest.test_case "crash drops in-flight force" `Quick
+      test_crash_drops_inflight_force;
+    Alcotest.test_case "io latency" `Quick test_io_latency;
+    Alcotest.test_case "stats counts" `Quick test_stats_counts;
+    Alcotest.test_case "reset stats" `Quick test_reset_stats;
+    Alcotest.test_case "records_for filters" `Quick test_records_for_filters_by_txn;
+    Alcotest.test_case "flush without record" `Quick test_flush_without_record;
+    Alcotest.test_case "flush on clean log immediate" `Quick
+      test_flush_on_clean_log_is_immediate;
+    Alcotest.test_case "group commit batches by size" `Quick
+      test_group_commit_batches_by_size;
+    Alcotest.test_case "group commit timeout flush" `Quick
+      test_group_commit_timeout_flushes_partial_batch;
+    Alcotest.test_case "group commit multiple batches" `Quick
+      test_group_commit_multiple_batches;
+    Alcotest.test_case "group commit crash drops batch" `Quick
+      test_group_commit_crash_drops_batch;
+    Alcotest.test_case "group commit delays individual commit" `Quick
+      test_group_commit_delays_commit;
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+  ]
