@@ -35,39 +35,34 @@ let two ?(c = member "C") ?(s = member "S") () = Tree (c, [ Tree (s, []) ])
 
 let table2_scenarios =
   [
-    ("Basic 2PC", { default_config with protocol = Basic }, two ());
-    ("PN", { default_config with protocol = Presumed_nothing }, two ());
+    ("Basic 2PC", default_config |> with_protocol Basic, two ());
+    ("PN", default_config |> with_protocol Presumed_nothing, two ());
     ("PA, Commit case", default_config, two ());
     ("PA, Abort case", default_config, two ~s:(member ~vote_no:true "S") ());
     ( "PA, Read-Only case",
-      { default_config with opts = { no_opts with read_only = true } },
+      default_config |> with_opts [ `Read_only ],
       two ~c:(member ~updated:false "C") ~s:(member ~updated:false "S") () );
-    ( "PA & Last-Agent",
-      { default_config with opts = { no_opts with last_agent = true } },
-      two () );
+    ("PA & Last-Agent", default_config |> with_opts [ `Last_agent ], two ());
     ( "PA & Unsolicited Vote",
-      { default_config with opts = { no_opts with unsolicited_vote = true } },
+      default_config |> with_opts [ `Unsolicited_vote ],
       two ~s:(member ~unsolicited:true "S") () );
     ( "PA & Leave-Out",
-      {
-        default_config with
-        opts = { no_opts with leave_out = true; read_only = true };
-      },
+      default_config |> with_opts [ `Leave_out; `Read_only ],
       two
         ~c:(member ~updated:false "C")
         ~s:(member ~left_out:true ~leave_out_ok:true "S")
         () );
     ( "PA & Vote Reliable",
-      { default_config with opts = { no_opts with vote_reliable = true } },
+      default_config |> with_opts [ `Vote_reliable ],
       two ~s:(member ~reliable:true "S") () );
     ( "PA & Wait For Outcome",
-      { default_config with opts = { no_opts with wait_for_outcome = true } },
+      default_config |> with_opts [ `Wait_for_outcome ],
       two () );
     ( "PA & Shared Logs",
-      { default_config with opts = { no_opts with shared_log = true } },
+      default_config |> with_opts [ `Shared_log ],
       two ~s:(member ~shares_parent_log:true "S") () );
     ( "PA & Long Locks",
-      { default_config with opts = { no_opts with long_locks = true } },
+      default_config |> with_opts [ `Long_locks ],
       two ~s:(member ~long_locks:true "S") () );
   ]
 
@@ -215,7 +210,7 @@ let lock_time () =
   Format.printf "%-26s %-10s %-14s %-14s@." "variant" "latency" "mean release"
     "max release";
   let run label latency opts =
-    let config = { default_config with latency; opts } in
+    let config = default_config |> with_latency latency |> with_opts opts in
     let m, _w = Tpc.Run.commit_tree ~config mixed_tree in
     Format.printf "%-26s %-10.0f %-14.2f %-14.2f@." label latency
       (Option.value ~default:nan m.Tpc.Metrics.mean_lock_release)
@@ -223,10 +218,10 @@ let lock_time () =
   in
   List.iter
     (fun latency ->
-      run "baseline" latency no_opts;
-      run "read-only" latency { no_opts with read_only = true };
-      run "early ack" latency { no_opts with ack = Early_ack };
-      run "last agent" latency { no_opts with last_agent = true })
+      run "baseline" latency [];
+      run "read-only" latency [ `Read_only ];
+      run "early ack" latency [ `Early_ack ];
+      run "last agent" latency [ `Last_agent ])
     [ 1.0; 5.0; 20.0 ];
   Format.printf
     "@.Shape check: read-only releases earliest (voters unlock in phase \
@@ -248,7 +243,7 @@ let commit_share () =
   let work_time = 11.0 in
   List.iter
     (fun latency ->
-      let config = { default_config with latency } in
+      let config = default_config |> with_latency latency in
       let m, _w = Tpc.Run.commit_tree ~config (two ()) in
       let commit_time = Option.value ~default:nan m.Tpc.Metrics.completion_time in
       Format.printf "%-10.1f %-16.1f %-16.1f %.0f%%@." latency work_time
@@ -273,19 +268,15 @@ let contention () =
     let tree =
       Tree (member "C", [ Tree (member ~updated "S", []) ])
     in
-    let config = { default_config with opts; latency } in
+    let config = default_config |> with_opts opts |> with_latency latency in
     let r = Workload.contention_experiment ~config ~victim:"S" tree in
     Format.printf "%-34s %-12.2f %-12.2f@." label r.Workload.ct_mean_wait
       r.Workload.ct_max_wait
   in
-  run "baseline, latency 1" no_opts 1.0;
-  run "read-only voter, latency 1" ~updated:false
-    { no_opts with read_only = true }
-    1.0;
-  run "baseline, latency 5" no_opts 5.0;
-  run "read-only voter, latency 5" ~updated:false
-    { no_opts with read_only = true }
-    5.0;
+  run "baseline, latency 1" [] 1.0;
+  run "read-only voter, latency 1" ~updated:false [ `Read_only ] 1.0;
+  run "baseline, latency 5" [] 5.0;
+  run "read-only voter, latency 5" ~updated:false [ `Read_only ] 5.0;
   Format.printf
     "@.Shape check: the read-only voter releases its locks at the vote, so \
      intruders barely wait; under the baseline they wait out the whole \
@@ -316,7 +307,7 @@ let last_agent_crossover () =
         ] )
   in
   let completion opts far_latency =
-    let config = { default_config with opts } in
+    let config = default_config |> with_opts opts in
     let w = Tpc.Run.setup ~config tree in
     Tpc.Net.set_latency w.Tpc.Run.net "C" "far" far_latency;
     let m = Tpc.Run.commit w in
@@ -326,8 +317,8 @@ let last_agent_crossover () =
     "last-agent done" "winner";
   List.iter
     (fun far ->
-      let base = completion no_opts far in
-      let la = completion { no_opts with last_agent = true } far in
+      let base = completion [] far in
+      let la = completion [ `Last_agent ] far in
       Format.printf "%-14.1f %-16.1f %-16.1f %s@." far base la
         (if la < base then "last agent"
          else if la > base then "baseline"
@@ -348,16 +339,13 @@ let failure_cases () =
     "Failure cases: time until every member reaches the outcome (coordinator \
      crashes, restarts after 40)";
   let run_case label protocol point wfo =
-    let opts = { no_opts with wait_for_outcome = wfo } in
     let config =
-      {
-        default_config with
-        protocol;
-        opts;
-        retry_interval = 20.0;
-        faults =
-          [ { f_node = "C"; f_point = point; f_restart_after = Some 40.0 } ];
-      }
+      default_config
+      |> with_protocol protocol
+      |> with_opts (if wfo then [ `Wait_for_outcome ] else [])
+      |> with_retries ~interval:20.0 ~max:default_config.max_retries
+      |> with_faults
+           [ { f_node = "C"; f_point = point; f_restart_after = Some 40.0 } ]
     in
     let m, _w = Tpc.Run.commit_tree ~config (two ()) in
     Format.printf "%-44s outcome=%-8s app-done=%-8s all-quiet=%.1f@." label
@@ -407,32 +395,21 @@ let ablation () =
   section "Ablation: one 8-member mixed tree, optimizations toggled one at a time";
   Format.printf "%-26s %-28s %-12s@." "enabled" "counts (f,w,fw)" "completion";
   let run label opts =
-    let config = { default_config with opts } in
+    let config = default_config |> with_opts opts in
     let m, _w = Tpc.Run.commit_tree ~config ablation_tree in
     Format.printf "%-26s %-28s %-12.1f@." label
       (Format.asprintf "%a" C.pp_counts (Tpc.Metrics.counts m))
       (Option.value ~default:nan m.Tpc.Metrics.completion_time)
   in
-  run "none (baseline)" no_opts;
-  run "read-only" { no_opts with read_only = true };
-  run "last-agent" { no_opts with last_agent = true };
-  run "unsolicited-vote" { no_opts with unsolicited_vote = true };
-  run "leave-out" { no_opts with leave_out = true };
-  run "vote-reliable" { no_opts with vote_reliable = true };
-  run "shared-log" { no_opts with shared_log = true };
-  run "long-locks" { no_opts with long_locks = true };
-  run "all together"
-    {
-      read_only = true;
-      last_agent = true;
-      unsolicited_vote = true;
-      leave_out = true;
-      shared_log = true;
-      long_locks = true;
-      ack = Late_ack;
-      vote_reliable = true;
-      wait_for_outcome = true;
-    }
+  run "none (baseline)" [];
+  run "read-only" [ `Read_only ];
+  run "last-agent" [ `Last_agent ];
+  run "unsolicited-vote" [ `Unsolicited_vote ];
+  run "leave-out" [ `Leave_out ];
+  run "vote-reliable" [ `Vote_reliable ];
+  run "shared-log" [ `Shared_log ];
+  run "long-locks" [ `Long_locks ];
+  run "all together" (List.filter (fun o -> o <> `Early_ack) all_opts)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the cost of regenerating each experiment *)
@@ -464,18 +441,16 @@ let bechamel_suite () =
         Test.make ~name:"crash-recovery-run"
           (Staged.stage (fun () ->
                let config =
-                 {
-                   default_config with
-                   retry_interval = 25.0;
-                   faults =
-                     [
-                       {
-                         f_node = "S";
-                         f_point = Cp_after_vote;
-                         f_restart_after = Some 10.0;
-                       };
-                     ];
-                 }
+                 default_config
+                 |> with_retries ~interval:25.0 ~max:default_config.max_retries
+                 |> with_faults
+                      [
+                        {
+                          f_node = "S";
+                          f_point = Cp_after_vote;
+                          f_restart_after = Some 10.0;
+                        };
+                      ]
                in
                ignore (Tpc.Run.commit_tree ~config (two ()))));
       ]

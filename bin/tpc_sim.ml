@@ -6,7 +6,8 @@
      figures   - render the paper's figures as sequence diagrams
      chain     - Table 4 style chained-transaction streams
      group     - group-commit sweep
-     crash     - a commit with an injected crash, showing recovery *)
+     crash     - a commit with an injected crash, showing recovery
+     sweep     - concurrent throughput sweep (one JSON line per cell) *)
 
 open Cmdliner
 open Tpc.Types
@@ -27,18 +28,7 @@ let protocol_arg =
   let doc = "Commit protocol: basic, pa (presumed abort) or pn (presumed nothing)." in
   Arg.(value & opt protocol_conv Presumed_abort & info [ "p"; "protocol" ] ~doc)
 
-let opt_names =
-  [
-    "read-only";
-    "last-agent";
-    "unsolicited";
-    "leave-out";
-    "shared-log";
-    "long-locks";
-    "vote-reliable";
-    "wait-for-outcome";
-    "early-ack";
-  ]
+let opt_names = List.map opt_to_string all_opts
 
 let opts_arg =
   let doc =
@@ -47,23 +37,22 @@ let opts_arg =
   in
   Arg.(value & opt_all string [] & info [ "O"; "enable" ] ~doc)
 
+(* The single source of truth for optimization names is
+   Types.opt_of_string: the CLI, bench and tests all parse through it. *)
+let parse_opt_names ~on_unknown names =
+  List.filter_map
+    (fun name ->
+      match opt_of_string name with
+      | Some o -> Some o
+      | None ->
+          on_unknown name;
+          None)
+    names
+
 let build_opts names =
-  List.fold_left
-    (fun acc name ->
-      match name with
-      | "read-only" -> { acc with read_only = true }
-      | "last-agent" -> { acc with last_agent = true }
-      | "unsolicited" -> { acc with unsolicited_vote = true }
-      | "leave-out" -> { acc with leave_out = true }
-      | "shared-log" -> { acc with shared_log = true }
-      | "long-locks" -> { acc with long_locks = true }
-      | "vote-reliable" -> { acc with vote_reliable = true }
-      | "wait-for-outcome" -> { acc with wait_for_outcome = true }
-      | "early-ack" -> { acc with ack = Early_ack }
-      | other ->
-          Printf.eprintf "warning: unknown optimization %S ignored\n" other;
-          acc)
-    no_opts names
+  opts_of_list
+    (parse_opt_names names ~on_unknown:(fun name ->
+         Printf.eprintf "warning: unknown optimization %S ignored\n" name))
 
 let n_arg =
   let doc = "Number of members in the commit tree." in
@@ -122,7 +111,10 @@ let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram =
       Printf.eprintf "tpc_sim: -m must satisfy 0 <= m < n\n";
       exit 2);
   let opts = build_opts opt_names in
-  let config = { default_config with protocol; opts; latency } in
+  let config =
+    default_config |> with_protocol protocol |> with_opts_record opts
+    |> with_latency latency
+  in
   let tree = make_tree shape seed n (pick_cost_opt opts) m in
   let metrics, world = Tpc.Run.commit_tree ~config tree in
   Format.printf "%a@." Tpc.Metrics.pp metrics;
@@ -240,6 +232,115 @@ let group_term =
   in
   Term.(const group_cmd $ n $ sizes)
 
+(* --- sweep ------------------------------------------------------------------ *)
+
+(* Concurrency x optimization-set sweep over the concurrent workload engine.
+   Emits one JSON line per cell so future runs can be tracked as a
+   machine-readable trajectory (BENCH_mixer.json). *)
+let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
+    read_prob interarrival lock_timeout seed group =
+  if n < 2 then (
+    Printf.eprintf "tpc_sim sweep: -n must be at least 2\n";
+    exit 2);
+  if txns < 1 then (
+    Printf.eprintf "tpc_sim sweep: --txns must be at least 1\n";
+    exit 2);
+  let parse_set s =
+    String.split_on_char ',' s
+    |> List.filter (fun x -> x <> "")
+    |> parse_opt_names ~on_unknown:(fun name ->
+           Printf.eprintf
+             "tpc_sim sweep: unknown optimization %S (one of %s)\n" name
+             (String.concat ", " opt_names);
+           exit 2)
+  in
+  (* baseline first, then each requested set (a set may be a comma-separated
+     combination, e.g. -O read-only,shared-log) *)
+  let sets = [] :: List.map parse_set opt_sets in
+  List.iter
+    (fun opts ->
+      List.iter
+        (fun concurrency ->
+          if concurrency < 1 then (
+            Printf.eprintf "tpc_sim sweep: concurrency must be >= 1\n";
+            exit 2);
+          let config =
+            default_config |> with_protocol protocol |> with_opts opts
+            |> (match group with
+               | Some (size, timeout) -> with_group_commit ~size ~timeout
+               | None -> Fun.id)
+            (* let deferred acks fall back no earlier than a typical
+               inter-arrival gap: real arrivals carry them first *)
+            |> with_implied_ack_delay
+                 (Float.max default_config.implied_ack_delay interarrival)
+          in
+          let cfg =
+            {
+              Tpc.Mixer.concurrency;
+              txns;
+              keyspace;
+              update_prob;
+              read_prob;
+              base_interarrival = interarrival;
+              lock_timeout;
+              seed;
+            }
+          in
+          let tree = Workload.mixer_tree ~n ~opts () in
+          let agg, _w = Tpc.Mixer.run ~config cfg tree in
+          print_endline (Tpc.Metrics.Agg.to_json agg))
+        concurrencies)
+    sets
+
+let sweep_term =
+  let concurrencies =
+    Arg.(
+      value
+      & opt (list int) [ 1; 4; 16 ]
+      & info [ "c"; "concurrency" ]
+          ~doc:"Concurrency levels to sweep (comma-separated).")
+  in
+  let txns =
+    Arg.(value & opt int 100 & info [ "txns" ] ~doc:"Transactions per cell.")
+  in
+  let keyspace =
+    Arg.(
+      value & opt int 8
+      & info [ "keyspace" ] ~doc:"Keys per member (smaller = more contention).")
+  in
+  let update_prob =
+    Arg.(
+      value & opt float 0.6
+      & info [ "update-prob" ] ~doc:"Per member: probability of one update.")
+  in
+  let read_prob =
+    Arg.(
+      value & opt float 0.25
+      & info [ "read-prob" ] ~doc:"Per member: probability of one read.")
+  in
+  let interarrival =
+    Arg.(
+      value & opt float 30.0
+      & info [ "interarrival" ]
+          ~doc:"Mean inter-arrival time at concurrency 1.")
+  in
+  let lock_timeout =
+    Arg.(
+      value & opt float 120.0
+      & info [ "lock-timeout" ] ~doc:"Abort after waiting this long for locks.")
+  in
+  let group =
+    Arg.(
+      value
+      & opt (some (pair int float)) None
+      & info [ "group" ]
+          ~doc:"Group commit as SIZE,TIMEOUT (e.g. --group 16,2.0).")
+  in
+  Term.(
+    const sweep_cmd $ protocol_arg $ opts_arg $ concurrencies $ n_arg $ txns
+    $ keyspace $ update_prob $ read_prob $ interarrival $ lock_timeout
+    $ seed_arg $ group)
+
 (* --- crash ----------------------------------------------------------------- *)
 
 let point_conv =
@@ -276,12 +377,9 @@ let crash_cmd protocol node point restart =
       "tpc_sim: --node must be one of coord, c1, c2 (the three-member chain)\n";
     exit 2);
   let config =
-    {
-      default_config with
-      protocol;
-      retry_interval = 25.0;
-      faults = [ { f_node = node; f_point = point; f_restart_after = restart } ];
-    }
+    default_config |> with_protocol protocol
+    |> with_retries ~interval:25.0 ~max:default_config.max_retries
+    |> with_faults [ { f_node = node; f_point = point; f_restart_after = restart } ]
   in
   let tree = Workload.chain ~n:3 () in
   let metrics, world = Tpc.Run.commit_tree ~config tree in
@@ -327,4 +425,7 @@ let () =
             cmd "chain" chain_term "Chained-transaction streams (Table 4).";
             cmd "group" group_term "Group-commit sweep.";
             cmd "crash" crash_term "Commit with an injected crash and recovery.";
+            cmd "sweep" sweep_term
+              "Concurrent throughput sweep: concurrency x optimization sets, \
+               one JSON line per cell.";
           ]))

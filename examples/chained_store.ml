@@ -37,9 +37,7 @@ let work ~txn ~node =
   | _ -> R.Work_update
 
 let () =
-  let config =
-    { default_config with opts = { no_opts with leave_out = true } }
-  in
+  let config = default_config |> with_opts [ `Leave_out ] in
   let results, w =
     R.commit_sequence ~config ~work ~txns:(List.map fst sales) tree
   in

@@ -34,19 +34,17 @@ let tree =
    loses patience and heuristically commits. *)
 let run protocol =
   let config =
-    {
-      default_config with
-      protocol;
-      retry_interval = 300.0;
-      faults =
-        [
-          {
-            f_node = "root";
-            f_point = Cp_before_decision_log;
-            f_restart_after = Some 60.0;
-          };
-        ];
-    }
+    default_config
+    |> with_protocol protocol
+    |> with_retries ~interval:300.0 ~max:default_config.max_retries
+    |> with_faults
+         [
+           {
+             f_node = "root";
+             f_point = Cp_before_decision_log;
+             f_restart_after = Some 60.0;
+           };
+         ]
   in
   let metrics, world = Tpc.Run.commit_tree ~config tree in
   Format.printf "=== %s ===@." (protocol_to_string protocol);

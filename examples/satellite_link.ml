@@ -28,7 +28,7 @@ let tree ~branches_unsolicited =
 let satellite_delay = 40.0
 
 let run label ?(branches_unsolicited = false) opts =
-  let config = { default_config with opts } in
+  let config = default_config |> with_opts opts in
   let world = Tpc.Run.setup ~config (tree ~branches_unsolicited) in
   (* the satellite link: two orders of magnitude slower than the LAN *)
   Tpc.Net.set_latency world.Tpc.Run.net "hq" "overseas" satellite_delay;
@@ -42,11 +42,11 @@ let () =
   Format.printf
     "Commit across two LAN branches (latency 1) and one satellite partner \
      (latency %.0f)@.@." satellite_delay;
-  let baseline = run "baseline 2PC" no_opts in
-  let last_agent = run "last agent" { no_opts with last_agent = true } in
+  let baseline = run "baseline 2PC" [] in
+  let last_agent = run "last agent" [ `Last_agent ] in
   let _combined =
     run "last agent + unsolicited" ~branches_unsolicited:true
-      { no_opts with last_agent = true; unsolicited_vote = true }
+      [ `Last_agent; `Unsolicited_vote ]
   in
   let speedup =
     Option.value ~default:nan baseline.Tpc.Metrics.completion_time

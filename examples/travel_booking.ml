@@ -26,7 +26,7 @@ let booking_tree =
       ] )
 
 let run_with label opts =
-  let config = { default_config with opts } in
+  let config = default_config |> with_opts opts in
   let metrics, world = Tpc.Run.commit_tree ~config booking_tree in
   Format.printf "%-34s %a  (mean lock release at t=%.2f)@." label
     Tpc.Cost_model.pp_counts
@@ -38,11 +38,10 @@ let () =
   Format.printf
     "Travel booking: 8 members, 2 updaters, 4 read-only services, 1 idle \
      server@.@.";
-  let baseline, _ = run_with "no optimizations" no_opts in
-  let ro, _ = run_with "read-only" { no_opts with read_only = true } in
+  let baseline, _ = run_with "no optimizations" [] in
+  let ro, _ = run_with "read-only" [ `Read_only ] in
   let both, world =
-    run_with "read-only + leave-out"
-      { no_opts with read_only = true; leave_out = true }
+    run_with "read-only + leave-out" [ `Read_only; `Leave_out ]
   in
   let saved =
     100.0

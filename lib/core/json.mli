@@ -1,0 +1,32 @@
+(** Minimal dependency-free JSON: enough to emit the sweep's machine-readable
+    lines and to round-trip them in tests.  Not a general-purpose parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering.  NaN and infinities print as [null];
+    finite floats always carry a decimal point (or exponent) so they parse
+    back as [Float]. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val parse_opt : string -> t option
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] for other constructors. *)
+
+val to_float_opt : t -> float option
+(** [Int] values widen to float. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -69,6 +69,130 @@ let of_run ~trace ~wals ~root ~outcome ~pending ~quiesce_time =
 let counts t : Cost_model.counts =
   { Cost_model.flows = t.flows; writes = t.tm_writes; forced = t.tm_forced }
 
+(* nearest-rank percentile over an unsorted sample *)
+let percentile samples p =
+  match List.sort compare samples with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = min (n - 1) (max 0 (rank - 1)) in
+      List.nth sorted idx
+
+let json_of_float_opt = function
+  | None -> Json.Null
+  | Some f -> Json.Float f
+
+let to_json t =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "outcome",
+           match t.outcome with
+           | None -> Json.Null
+           | Some o -> Json.String (Types.outcome_to_string o) );
+         ("pending", Json.Bool t.pending);
+         ("flows", Json.Int t.flows);
+         ("data_flows", Json.Int t.data_flows);
+         ("tm_writes", Json.Int t.tm_writes);
+         ("tm_forced", Json.Int t.tm_forced);
+         ("force_ios", Json.Int t.force_ios);
+         ("completion_time", json_of_float_opt t.completion_time);
+         ("quiesce_time", Json.Float t.quiesce_time);
+         ("mean_lock_release", json_of_float_opt t.mean_lock_release);
+         ("max_lock_release", json_of_float_opt t.max_lock_release);
+         ("heuristics", Json.Int t.heuristics);
+         ( "damage_reports",
+           Json.List
+             (List.map
+                (fun (node, to_) ->
+                  Json.Obj
+                    [
+                      ("node", Json.String node); ("reported_to", Json.String to_);
+                    ])
+                t.damage_reports) );
+       ])
+
+(** Aggregate results over a concurrent multi-transaction run (the mixer's
+    return value): the paper's per-commit axes re-expressed as throughput,
+    latency percentiles and per-commit averages. *)
+module Agg = struct
+  type t = {
+    label : string;  (** optimization-set label, e.g. ["read-only+shared-log"] *)
+    concurrency : int;
+    txns : int;  (** transactions submitted *)
+    committed : int;
+    aborted : int;
+    duration : float;  (** first arrival to last completion (sim time) *)
+    throughput : float;  (** commits per simulated second *)
+    abort_rate : float;
+    commit_latency_p50 : float;
+    commit_latency_p95 : float;
+    commit_latency_p99 : float;
+    commit_latency_mean : float;
+    lock_hold_p50 : float;
+    lock_hold_p95 : float;
+    lock_hold_p99 : float;
+    lock_wait_mean : float;  (** mean lock-queue wait per transaction *)
+    lock_waits : int;  (** grants that had to queue *)
+    flows : int;
+    data_flows : int;
+    flows_per_commit : float;
+    tm_writes : int;
+    tm_forced : int;
+    force_ios : int;
+    force_ios_per_commit : float;
+    consistency_violations : int;
+  }
+
+  let ratio num den = if den = 0 then 0.0 else num /. float_of_int den
+
+  let to_json_value t =
+    Json.Obj
+      [
+        ("label", Json.String t.label);
+        ("concurrency", Json.Int t.concurrency);
+        ("txns", Json.Int t.txns);
+        ("committed", Json.Int t.committed);
+        ("aborted", Json.Int t.aborted);
+        ("duration", Json.Float t.duration);
+        ("throughput", Json.Float t.throughput);
+        ("abort_rate", Json.Float t.abort_rate);
+        ("commit_latency_p50", Json.Float t.commit_latency_p50);
+        ("commit_latency_p95", Json.Float t.commit_latency_p95);
+        ("commit_latency_p99", Json.Float t.commit_latency_p99);
+        ("commit_latency_mean", Json.Float t.commit_latency_mean);
+        ("lock_hold_p50", Json.Float t.lock_hold_p50);
+        ("lock_hold_p95", Json.Float t.lock_hold_p95);
+        ("lock_hold_p99", Json.Float t.lock_hold_p99);
+        ("lock_wait_mean", Json.Float t.lock_wait_mean);
+        ("lock_waits", Json.Int t.lock_waits);
+        ("flows", Json.Int t.flows);
+        ("data_flows", Json.Int t.data_flows);
+        ("flows_per_commit", Json.Float t.flows_per_commit);
+        ("tm_writes", Json.Int t.tm_writes);
+        ("tm_forced", Json.Int t.tm_forced);
+        ("force_ios", Json.Int t.force_ios);
+        ("force_ios_per_commit", Json.Float t.force_ios_per_commit);
+        ("consistency_violations", Json.Int t.consistency_violations);
+      ]
+
+  let to_json t = Json.to_string (to_json_value t)
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<v>%s x%d: %d txns, %d committed, %d aborted@,\
+       throughput: %.4f commits/s, abort rate: %.3f@,\
+       commit latency p50/p95/p99: %.2f / %.2f / %.2f@,\
+       lock hold p50/p95/p99: %.2f / %.2f / %.2f@,\
+       flows/commit: %.2f, force I/Os/commit: %.2f@,\
+       consistency violations: %d@]"
+      t.label t.concurrency t.txns t.committed t.aborted t.throughput
+      t.abort_rate t.commit_latency_p50 t.commit_latency_p95
+      t.commit_latency_p99 t.lock_hold_p50 t.lock_hold_p95 t.lock_hold_p99
+      t.flows_per_commit t.force_ios_per_commit t.consistency_violations
+end
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>outcome: %s%s@,\

@@ -1,0 +1,429 @@
+(** Concurrent multi-transaction throughput engine.
+
+    Drives N overlapping transactions through one {!Run.world} as an
+    open-loop arrival process on the shared {!Simkernel.Engine}: commit
+    trees per transaction drawn from a deterministic seeded RNG, keys from
+    a contended keyspace so {!Lockmgr} waits and timeout aborts actually
+    happen, group commit batching force I/Os across transactions, and
+    long-locks/implied acknowledgments piggybacking on genuinely-next
+    transactions ({!Participant.flush_piggybacks}) instead of the synthetic
+    think-time timer. *)
+
+open Types
+module E = Simkernel.Engine
+
+type op = Op_update of { key : string } | Op_read of { key : string }
+type item = { it_node : string; it_op : op }
+
+type cfg = {
+  concurrency : int;  (** open-loop arrival-rate multiplier *)
+  txns : int;  (** transactions to submit *)
+  keyspace : int;  (** keys per member: smaller = more contention *)
+  update_prob : float;  (** per member: P(update one key) *)
+  read_prob : float;  (** per member: P(read one key); rest = idle *)
+  base_interarrival : float;
+      (** mean inter-arrival at concurrency 1; the effective mean is
+          [base_interarrival /. concurrency] *)
+  lock_timeout : float;  (** give up waiting for locks after this long *)
+  seed : int;
+}
+
+let default_cfg =
+  {
+    concurrency = 1;
+    txns = 100;
+    keyspace = 8;
+    update_prob = 0.6;
+    read_prob = 0.25;
+    base_interarrival = 30.0;
+    lock_timeout = 120.0;
+    seed = 1;
+  }
+
+(* Per-transaction bookkeeping on the mixer side. *)
+type txn_rec = {
+  x_txn : string;
+  x_arrival : float;
+  x_items : item list;  (** tree order: locks are acquired in this order *)
+  mutable x_commit_started : float option;
+  mutable x_completed : float option;
+  mutable x_outcome : outcome option;
+  mutable x_timed_out : bool;  (** gave up waiting for locks *)
+  mutable x_timer : E.event option;
+  mutable x_waits : int;
+  mutable x_wait_time : float;
+}
+
+let txn_value txn = "v:" ^ txn
+let value_owner v =
+  if String.length v > 2 && String.sub v 0 2 = "v:" then
+    Some (String.sub v 2 (String.length v - 2))
+  else None
+
+let label_of_opts opts =
+  match opts_to_list opts with
+  | [] -> "baseline"
+  | l -> String.concat "+" (List.map opt_to_string l)
+
+let node_has_work x name =
+  List.exists (fun it -> it.it_node = name) x.x_items
+
+(* ------------------------------------------------------------------ *)
+(* End-of-run consistency audit                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomicity/consistency are checked at quiescence rather than per
+   completion: with vote-reliable implied acks or early acks the root can
+   report a commit before subordinates have applied it. *)
+let consistency_violations w records =
+  let violations = ref 0 in
+  let rm_committed n txn =
+    let rm = (n : Run.node).Run.profile.p_name ^ ".rm" in
+    List.exists
+      (fun (r : Wal.Log_record.t) ->
+        r.txn = txn && r.node = rm && r.kind = Wal.Log_record.Rm_committed)
+      (Wal.Log.all_records n.Run.wal)
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun it ->
+          match it.it_op with
+          | Op_read _ -> ()
+          | Op_update { key } -> (
+              let n = Run.node w it.it_node in
+              match x.x_outcome with
+              | Some Committed ->
+                  (* every member the txn updated must have applied it *)
+                  if not (rm_committed n x.x_txn) then incr violations
+              | Some Aborted | None ->
+                  (* no member may have applied any part of it *)
+                  if rm_committed n x.x_txn then incr violations;
+                  if Kvstore.committed_value n.Run.kv key = Some (txn_value x.x_txn)
+                  then incr violations))
+        x.x_items)
+    records;
+  (* every committed binding must belong to a committed transaction that
+     actually wrote it there *)
+  let by_txn = Hashtbl.create 64 in
+  List.iter (fun x -> Hashtbl.replace by_txn x.x_txn x) records;
+  List.iter
+    (fun (name, n) ->
+      List.iter
+        (fun (key, v) ->
+          match value_owner v with
+          | None -> ()  (* pre-loaded or foreign value *)
+          | Some owner -> (
+              match Hashtbl.find_opt by_txn owner with
+              | Some x
+                when x.x_outcome = Some Committed
+                     && List.exists
+                          (fun it ->
+                            it.it_node = name
+                            && match it.it_op with
+                               | Op_update { key = k } -> k = key
+                               | Op_read _ -> false)
+                          x.x_items ->
+                  ()
+              | _ -> incr violations))
+        (Kvstore.committed_bindings n.Run.kv))
+    w.Run.nodes;
+  !violations
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) cfg tree =
+  if cfg.txns <= 0 then invalid_arg "Mixer.run: txns must be positive";
+  let w = Run.setup ~config tree in
+  let engine = w.Run.engine in
+  let rng = Simkernel.Det_rng.create ~seed:cfg.seed in
+  let records : (string, txn_rec) Hashtbl.t = Hashtbl.create cfg.txns in
+  let order = ref [] in  (* arrival order, newest first *)
+  let outstanding = ref 0 in
+  let arrived = ref 0 in
+  (* child -> parent, for the leave-out / unsolicited bookkeeping *)
+  let parents = Hashtbl.create 16 in
+  let rec index_parents (Tree (p, children)) =
+    List.iter
+      (fun (Tree (cp, _) as c) ->
+        Hashtbl.replace parents cp.p_name p.p_name;
+        index_parents c)
+      children
+  in
+  index_parents w.Run.tree;
+  (* deferred long-locks / last-agent acks ride the next real arrival *)
+  let flush_all () =
+    List.iter
+      (fun (_, n) -> Participant.flush_piggybacks n.Run.participant)
+      w.Run.nodes
+  in
+  let maybe_done () =
+    if !arrived = cfg.txns && !outstanding = 0 then
+      (* nothing genuinely-next is coming: release the stragglers *)
+      flush_all ()
+  in
+  let finish x outcome =
+    if x.x_completed = None then begin
+      x.x_completed <- Some (E.now engine);
+      x.x_outcome <- Some outcome;
+      Participant.clear_idle_children (Run.participant w w.Run.root) ~txn:x.x_txn;
+      decr outstanding;
+      maybe_done ()
+    end
+  in
+  Participant.set_on_root_complete
+    (Run.participant w w.Run.root)
+    (fun ~txn outcome ~pending:_ ->
+      match Hashtbl.find_opt records txn with
+      | Some x -> finish x outcome
+      | None -> ());
+  (* -- work plans -------------------------------------------------- *)
+  let plan () =
+    List.filter_map
+      (fun (name, _) ->
+        let u = Simkernel.Det_rng.float rng 1.0 in
+        if u < cfg.update_prob then
+          let key = "k" ^ string_of_int (Simkernel.Det_rng.int rng cfg.keyspace) in
+          Some { it_node = name; it_op = Op_update { key } }
+        else if u < cfg.update_prob +. cfg.read_prob then
+          let key = "k" ^ string_of_int (Simkernel.Det_rng.int rng cfg.keyspace) in
+          Some { it_node = name; it_op = Op_read { key } }
+        else None)
+      w.Run.nodes
+  in
+  let rec subtree_idle x (Tree (p, children)) =
+    (not (node_has_work x p.p_name)) && List.for_all (subtree_idle x) children
+  in
+  (* tell each parent which child subtrees gave it nothing this txn *)
+  let mark_idle x =
+    let rec mark (Tree (p, children)) =
+      let parent = Run.participant w p.p_name in
+      List.iter
+        (fun (Tree (cp, _) as child) ->
+          if subtree_idle x child then
+            Participant.note_idle_child parent ~txn:x.x_txn ~child:cp.p_name;
+          mark child)
+        children
+    in
+    mark w.Run.tree
+  in
+  (* A node its parent will leave out must not receive an unsolicited-vote
+     trigger; every other unsolicited member must, or the vote timer will
+     presume NO from it. *)
+  let left_out x name =
+    config.opts.leave_out
+    &&
+    match Hashtbl.find_opt parents name with
+    | None -> false
+    | Some parent_name ->
+        let rec find (Tree (p, _) as t') =
+          if p.p_name = name then Some t'
+          else
+            let (Tree (_, children)) = t' in
+            List.find_map find children
+        in
+        (match find w.Run.tree with
+        | Some subtree ->
+            subtree_idle x subtree
+            && Participant.is_suspended
+                 (Run.participant w parent_name)
+                 ~child:name
+        | None -> false)
+  in
+  let trigger_unsolicited x =
+    if config.opts.unsolicited_vote then
+      List.iter
+        (fun (name, n) ->
+          if n.Run.profile.p_unsolicited && not (left_out x name) then
+            ignore
+              (E.schedule engine ~delay:0.0 (fun () ->
+                   Participant.begin_unsolicited n.Run.participant ~txn:x.x_txn)))
+        w.Run.nodes
+  in
+  (* -- abort before commit: lock-wait timeout ---------------------- *)
+  let release_everywhere x =
+    List.iter
+      (fun it -> Kvstore.abort (Run.kv w it.it_node) ~txn:x.x_txn (fun () -> ()))
+      x.x_items
+  in
+  let lock_timeout x () =
+    if x.x_commit_started = None && x.x_completed = None then begin
+      x.x_timed_out <- true;
+      release_everywhere x;
+      finish x Aborted
+    end
+  in
+  (* -- commit ------------------------------------------------------ *)
+  let start_commit x =
+    (match x.x_timer with
+    | Some ev ->
+        E.cancel engine ev;
+        x.x_timer <- None
+    | None -> ());
+    if not x.x_timed_out then begin
+      x.x_commit_started <- Some (E.now engine);
+      mark_idle x;
+      trigger_unsolicited x;
+      Participant.begin_commit (Run.participant w w.Run.root) ~txn:x.x_txn
+    end
+  in
+  (* -- lock acquisition, one item at a time in tree order ---------- *)
+  let rec acquire x items =
+    match items with
+    | [] -> start_commit x
+    | { it_node; it_op } :: rest ->
+        let kv = Run.kv w it_node in
+        let requested = E.now engine in
+        let after_grant () =
+          let waited = E.now engine -. requested in
+          if waited > 1e-9 then begin
+            x.x_waits <- x.x_waits + 1;
+            x.x_wait_time <- x.x_wait_time +. waited
+          end;
+          if x.x_timed_out then
+            (* granted after we gave up: let it go again *)
+            Kvstore.abort kv ~txn:x.x_txn (fun () -> ())
+          else acquire x rest
+        in
+        (match it_op with
+        | Op_update { key } ->
+            Kvstore.put_async kv ~txn:x.x_txn ~key ~value:(txn_value x.x_txn)
+              ~granted:after_grant
+        | Op_read { key } ->
+            Kvstore.get_async kv ~txn:x.x_txn ~key ~granted:(fun _ ->
+                after_grant ()))
+  in
+  (* -- arrivals ---------------------------------------------------- *)
+  let arrive i () =
+    (* this transaction's data exchange carries any deferred acks: the
+       "genuinely-next transaction" of the long-locks design *)
+    flush_all ();
+    let txn = Printf.sprintf "mx-%d" i in
+    let x =
+      {
+        x_txn = txn;
+        x_arrival = E.now engine;
+        x_items = plan ();
+        x_commit_started = None;
+        x_completed = None;
+        x_outcome = None;
+        x_timed_out = false;
+        x_timer = None;
+        x_waits = 0;
+        x_wait_time = 0.0;
+      }
+    in
+    Hashtbl.replace records txn x;
+    order := txn :: !order;
+    incr arrived;
+    incr outstanding;
+    x.x_timer <- Some (E.schedule engine ~delay:cfg.lock_timeout (lock_timeout x));
+    acquire x x.x_items
+  in
+  let mean =
+    cfg.base_interarrival /. float_of_int (max 1 cfg.concurrency)
+  in
+  let at = ref 0.0 in
+  for i = 1 to cfg.txns do
+    ignore (E.schedule engine ~delay:!at (arrive i));
+    at := !at +. Simkernel.Det_rng.exponential rng ~mean
+  done;
+  E.run engine;
+  (* -- aggregate --------------------------------------------------- *)
+  let all = List.rev_map (Hashtbl.find records) !order in
+  let committed_recs =
+    List.filter (fun x -> x.x_outcome = Some Committed) all
+  in
+  let committed = List.length committed_recs in
+  let aborted =
+    List.length (List.filter (fun x -> x.x_outcome = Some Aborted) all)
+  in
+  let commit_latencies =
+    List.filter_map
+      (fun x ->
+        match (x.x_commit_started, x.x_completed) with
+        | Some s, Some c when x.x_outcome = Some Committed -> Some (c -. s)
+        | _ -> None)
+      all
+  in
+  let lock_holds =
+    List.filter_map
+      (fun x ->
+        if x.x_outcome <> Some Committed then None
+        else
+          let nodes =
+            List.sort_uniq compare (List.map (fun it -> it.it_node) x.x_items)
+          in
+          match nodes with
+          | [] -> None
+          | _ ->
+              Some
+                (List.fold_left
+                   (fun acc name ->
+                     acc
+                     +. Lockmgr.txn_lock_time
+                          (Kvstore.locks (Run.kv w name))
+                          ~txn:x.x_txn)
+                   0.0 nodes))
+      all
+  in
+  let last_completion =
+    List.fold_left
+      (fun acc x -> match x.x_completed with Some c -> max acc c | None -> acc)
+      0.0 all
+  in
+  let duration = last_completion in
+  let flows = Trace.flows w.Run.trace in
+  let data_flows =
+    List.length
+      (List.filter
+         (function Trace.Send { protocol = false; _ } -> true | _ -> false)
+         (Trace.events w.Run.trace))
+  in
+  let force_ios =
+    List.fold_left
+      (fun acc wal -> acc + (Wal.Log.stats wal).Wal.Log.force_ios)
+      0 (Run.all_wals w)
+  in
+  let total_waits = List.fold_left (fun acc x -> acc + x.x_waits) 0 all in
+  let total_wait_time =
+    List.fold_left (fun acc x -> acc +. x.x_wait_time) 0.0 all
+  in
+  let pct = Metrics.percentile in
+  let mean_of = function
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let ratio = Metrics.Agg.ratio in
+  let agg =
+    {
+      Metrics.Agg.label = label_of_opts config.opts;
+      concurrency = cfg.concurrency;
+      txns = cfg.txns;
+      committed;
+      aborted;
+      duration;
+      throughput = (if duration > 0.0 then ratio (float_of_int committed) 1 /. duration else 0.0);
+      abort_rate = ratio (float_of_int aborted) cfg.txns;
+      commit_latency_p50 = (if commit_latencies = [] then 0.0 else pct commit_latencies 50.0);
+      commit_latency_p95 = (if commit_latencies = [] then 0.0 else pct commit_latencies 95.0);
+      commit_latency_p99 = (if commit_latencies = [] then 0.0 else pct commit_latencies 99.0);
+      commit_latency_mean = mean_of commit_latencies;
+      lock_hold_p50 = (if lock_holds = [] then 0.0 else pct lock_holds 50.0);
+      lock_hold_p95 = (if lock_holds = [] then 0.0 else pct lock_holds 95.0);
+      lock_hold_p99 = (if lock_holds = [] then 0.0 else pct lock_holds 99.0);
+      lock_wait_mean = ratio total_wait_time cfg.txns;
+      lock_waits = total_waits;
+      flows;
+      data_flows;
+      flows_per_commit = ratio (float_of_int flows) committed;
+      tm_writes = Trace.tm_writes w.Run.trace;
+      tm_forced = Trace.tm_forced_writes w.Run.trace;
+      force_ios;
+      force_ios_per_commit = ratio (float_of_int force_ios) committed;
+      consistency_violations = consistency_violations w all;
+    }
+  in
+  (agg, w)

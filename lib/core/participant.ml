@@ -53,6 +53,17 @@ type txn_state = {
   mutable awaiting_implied_ack : bool; (* END deferred until next-txn data *)
 }
 
+(* An acknowledgment (or last-agent implied ack) waiting to piggyback on the
+   next transaction's data exchange.  A concurrent workload driver flushes
+   these when a genuinely-next transaction arrives; a fallback timer at
+   [implied_ack_delay] simulates the think-time data message when nothing
+   else does (the single-transaction behaviour). *)
+type deferred = {
+  d_dst : string;
+  d_payloads : Msg.payload list;
+  mutable d_sent : bool;
+}
+
 type t = {
   name : string;
   profile : profile;
@@ -70,13 +81,14 @@ type t = {
   fired_faults : (crash_point, unit) Hashtbl.t;
   mutable crashed : bool;
   mutable epoch : int;
-  mutable on_root_complete : (outcome -> pending:bool -> unit) option;
+  mutable on_root_complete : (txn:string -> outcome -> pending:bool -> unit) option;
   suspended_children : (string, unit) Hashtbl.t;
       (* children whose last committed YES carried OK-TO-LEAVE-OUT: they are
          suspended awaiting data and may be left out of the next transaction *)
-  idle_children : (string, unit) Hashtbl.t;
-      (* children that exchanged no data with us in the current transaction
-         (set by the workload driver before commit begins) *)
+  idle_children : (string * string, unit) Hashtbl.t;
+      (* (txn, child): the child exchanged no data with us in that
+         transaction (set by the workload driver before commit begins) *)
+  mutable deferred : deferred list;
 }
 
 let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
@@ -105,6 +117,7 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     on_root_complete = None;
     suspended_children = Hashtbl.create 4;
     idle_children = Hashtbl.create 4;
+    deferred = [];
   }
 
 let name t = t.name
@@ -117,8 +130,13 @@ let set_on_root_complete t f = t.on_root_complete <- Some f
    exchanged no data with this member; a child that is both idle and
    suspended (its previous committed YES said OK-TO-LEAVE-OUT) is left out
    of the commit entirely. *)
-let note_idle_child t ~child = Hashtbl.replace t.idle_children child ()
-let clear_idle_children t = Hashtbl.reset t.idle_children
+let note_idle_child t ~txn ~child = Hashtbl.replace t.idle_children (txn, child) ()
+
+let clear_idle_children t ~txn =
+  Hashtbl.iter
+    (fun ((tx, _) as k) () -> if tx = txn then Hashtbl.remove t.idle_children k)
+    (Hashtbl.copy t.idle_children)
+
 let is_suspended t ~child = Hashtbl.mem t.suspended_children child
 
 let now t = Simkernel.Engine.now t.engine
@@ -202,7 +220,9 @@ let rec crash t =
   (* suspension is conversation state: the sessions died with us, so the
      conservative post-crash behaviour is to re-engage everyone *)
   Hashtbl.reset t.suspended_children;
-  Hashtbl.reset t.idle_children
+  Hashtbl.reset t.idle_children;
+  (* undelivered piggybacked acks died with the sessions *)
+  t.deferred <- []
 
 (* [maybe_crash] returns true when the fault fired: the caller must stop. *)
 and maybe_crash t point =
@@ -257,14 +277,14 @@ and get_or_new_txn t txn =
 
 (* Children that take part in this transaction: left-out members are
    excluded entirely when the optimization is enabled. *)
-and participating_children t =
+and participating_children t ~txn =
   List.filter_map
     (fun p ->
       if
         t.cfg.opts.leave_out
         && (p.p_left_out
            || (Hashtbl.mem t.suspended_children p.p_name
-              && Hashtbl.mem t.idle_children p.p_name))
+              && Hashtbl.mem t.idle_children (txn, p.p_name)))
       then begin
         trace t
           (Trace.Note
@@ -296,7 +316,7 @@ and participating_children t =
 and begin_commit t ~txn =
   let st = get_or_new_txn t txn in
   st.phase <- Ph_voting;
-  st.children <- participating_children t;
+  st.children <- participating_children t ~txn;
   if t.cfg.protocol = Presumed_nothing then
     (* PN: the coordinator must remember its subordinates before any
        Prepare leaves the node (Figure 3). *)
@@ -818,6 +838,22 @@ and send_ack_up t st =
           [ Msg.Ack_msg { txn = st.txn; damage = st.damage; pending = st.pending } ]
       end
 
+(* Register a payload bundle that wants to ride the next transaction's data
+   exchange.  [flush_piggybacks] (called by a concurrent workload driver when
+   a genuinely-next transaction arrives) sends it early; otherwise the
+   fallback timer fires after the configured think time, reproducing the
+   single-transaction behaviour exactly. *)
+and defer_piggyback t ~dst payloads =
+  let d = { d_dst = dst; d_payloads = payloads; d_sent = false } in
+  t.deferred <- d :: List.filter (fun x -> not x.d_sent) t.deferred;
+  sched_ t ~delay:t.cfg.implied_ack_delay (fun () -> fire_deferred t d)
+
+and fire_deferred t d =
+  if not d.d_sent then begin
+    d.d_sent <- true;
+    send t ~dst:d.d_dst d.d_payloads
+  end
+
 and defer_ack_long_locks t st =
   (* Long locks: hold the acknowledgment and piggyback it on the data
      message that begins the next transaction (Figure 7).  In a
@@ -833,13 +869,11 @@ and defer_ack_long_locks t st =
            text = "long locks: ack deferred to next-transaction data";
          });
     let parent = Option.get st.parent in
-    sched_ t ~delay:t.cfg.implied_ack_delay (fun () ->
-        send t ~dst:parent
-          [
-            Msg.Data { txn = st.txn; info = "next-txn" };
-            Msg.Ack_msg { txn = st.txn; damage = st.damage; pending = st.pending };
-          ];
-        ());
+    defer_piggyback t ~dst:parent
+      [
+        Msg.Data { txn = st.txn; info = "next-txn" };
+        Msg.Ack_msg { txn = st.txn; damage = st.damage; pending = st.pending };
+      ];
     finish_with_end t st
   end
 
@@ -852,7 +886,7 @@ and root_complete t st outcome =
         (Trace.Damage_detected { time = now t; node = d.d_node; reported_to = t.name }))
     st.damage;
   match t.on_root_complete with
-  | Some f -> f outcome ~pending:st.pending
+  | Some f -> f ~txn:st.txn outcome ~pending:st.pending
   | None -> ()
 
 and finish_with_end t st =
@@ -870,9 +904,8 @@ and finish_with_end t st =
   List.iter
     (fun ch ->
       if ch.ch_last_agent && Option.get st.outcome = Committed then
-        sched_ t ~delay:t.cfg.implied_ack_delay (fun () ->
-            send t ~dst:ch.ch_profile.p_name
-              [ Msg.Data { txn = st.txn; info = "next-txn" } ]))
+        defer_piggyback t ~dst:ch.ch_profile.p_name
+          [ Msg.Data { txn = st.txn; info = "next-txn" } ])
     st.children;
   end_txn t st (Option.get st.outcome)
 
@@ -996,7 +1029,7 @@ and handle_prepare t ~src ~txn ~long_locks =
             with
             | Some e -> e
             | None -> ch)
-          (participating_children t);
+          (participating_children t ~txn);
       if maybe_crash t Cp_on_prepare then ()
       else if t.cfg.protocol = Presumed_nothing && st.children <> [] then
         (* a PN cascaded coordinator logs commit-pending before
@@ -1086,7 +1119,7 @@ and handle_delegation t ~src ~txn vote =
         if st.phase = Ph_idle then begin
           st.delegator <- Some src;
           st.phase <- Ph_voting;
-          st.children <- participating_children t;
+          st.children <- participating_children t ~txn;
           start_phase1 t st
         end
       end
@@ -1457,3 +1490,15 @@ let attach t = Net.add_node t.net t.name (fun ~src payloads -> handler t ~src pa
 
 let force_crash t = crash t
 let force_restart t = restart t
+
+(* The concurrent workload driver calls this when a genuinely-next
+   transaction arrives (or at the end of the run): every acknowledgment
+   still waiting for its think-time timer rides the real data exchange
+   instead. *)
+let flush_piggybacks t =
+  if not t.crashed then begin
+    List.iter (fun d -> fire_deferred t d) (List.rev t.deferred);
+    t.deferred <- []
+  end
+
+let has_piggybacks t = List.exists (fun d -> not d.d_sent) t.deferred

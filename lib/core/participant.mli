@@ -36,9 +36,10 @@ val kv : t -> Kvstore.t
 val log : t -> Wal.Log.t
 val is_crashed : t -> bool
 
-val set_on_root_complete : t -> (Types.outcome -> pending:bool -> unit) -> unit
+val set_on_root_complete :
+  t -> (txn:string -> Types.outcome -> pending:bool -> unit) -> unit
 (** Callback fired when this participant, acting as root coordinator,
-    reports the outcome to its application ([pending] is the
+    reports the outcome of [txn] to its application ([pending] is the
     wait-for-outcome "recovery still in progress" indication). *)
 
 val begin_commit : t -> txn:string -> unit
@@ -51,15 +52,28 @@ val begin_unsolicited : t -> txn:string -> unit
     sends an unsolicited YES to its parent without waiting for a Prepare.
     Raises [Invalid_argument] on a participant with no parent. *)
 
-val note_idle_child : t -> child:string -> unit
-(** Declare that [child] exchanged no data with this member during the
-    current transaction.  Together with a suspension recorded from the
+val note_idle_child : t -> txn:string -> child:string -> unit
+(** Declare that [child] exchanged no data with this member during
+    transaction [txn].  Together with a suspension recorded from the
     child's previous committed OK-TO-LEAVE-OUT vote, this lets
-    the participant leave the child out of the next commit (the dynamic
-    leave-out protocol; see {!Run.commit_sequence}). *)
+    the participant leave the child out of that commit (the dynamic
+    leave-out protocol; see {!Run.commit_sequence}).  The marks are
+    per-transaction so concurrent transactions cannot clobber each
+    other's declarations. *)
 
-val clear_idle_children : t -> unit
+val clear_idle_children : t -> txn:string -> unit
 val is_suspended : t -> child:string -> bool
+
+val flush_piggybacks : t -> unit
+(** Send every acknowledgment still deferred onto "next-transaction data"
+    (long-locks acks, last-agent implied acks) right now.  A concurrent
+    workload driver calls this when a genuinely-next transaction arrives, so
+    the piggyback rides real data instead of the synthetic
+    [implied_ack_delay] think-time timer; left alone, the timer preserves
+    the single-transaction behaviour.  No-op while crashed. *)
+
+val has_piggybacks : t -> bool
+(** True when at least one deferred acknowledgment has not yet been sent. *)
 
 val force_crash : t -> unit
 (** Crash the node immediately: volatile log tail, resource-manager cache

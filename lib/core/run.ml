@@ -27,7 +27,12 @@ let node w name = List.assoc name w.nodes
 let participant w name = (node w name).participant
 let kv w name = (node w name).kv
 let root_node w = node w w.root
-let all_wals w = List.map (fun (_, n) -> n.wal) w.nodes
+(* each physical log once: shared-log members reuse their parent's WAL *)
+let all_wals w =
+  List.rev
+    (List.fold_left
+       (fun acc (_, n) -> if List.memq n.wal acc then acc else n.wal :: acc)
+       [] w.nodes)
 
 (** Build the simulated complex: one participant, WAL and resource manager
     per tree member.  A member with [p_shares_parent_log] reuses its
@@ -60,7 +65,8 @@ let setup ?(config = default_config) tree =
   let w =
     { engine; net; trace; cfg = config; tree; nodes; root; outcome = None; pending = false }
   in
-  Participant.set_on_root_complete (participant w root) (fun outcome ~pending ->
+  Participant.set_on_root_complete (participant w root)
+    (fun ~txn:_ outcome ~pending ->
       w.outcome <- Some outcome;
       w.pending <- pending);
   w
@@ -142,11 +148,11 @@ let commit_sequence ?config ~work ~txns tree =
     in
     let rec mark (Tree (p, children)) =
       let parent = participant w p.p_name in
-      Participant.clear_idle_children parent;
+      Participant.clear_idle_children parent ~txn;
       List.iter
         (fun (Tree (cp, _) as child) ->
           if subtree_idle child then
-            Participant.note_idle_child parent ~child:cp.p_name;
+            Participant.note_idle_child parent ~txn ~child:cp.p_name;
           mark child)
         children
     in

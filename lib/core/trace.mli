@@ -1,0 +1,86 @@
+(** Event trace of a simulation run.
+
+    The trace is the single source of truth for the quantities the paper
+    tabulates: protocol message flows, log writes and forced log writes
+    (transaction-manager records only, per the paper's counting convention),
+    plus the timeline needed to render the figures as ASCII sequence
+    diagrams.
+
+    The event vocabulary stays public — consumers pattern-match on it — but
+    the container is abstract, so the representation can grow (indexes,
+    counters) without breaking them. *)
+
+type event =
+  | Send of {
+      time : float;
+      src : string;
+      dst : string;
+      label : string;
+      protocol : bool;
+          (** false for application data (implied acks, next-transaction
+              data): those messages are not 2PC flows *)
+    }
+  | Deliver of { time : float; src : string; dst : string; label : string }
+  | Log_write of {
+      time : float;
+      node : string;
+      kind : Wal.Log_record.kind;
+      forced : bool;
+      rm : bool;  (** resource-manager record (excluded from paper counts) *)
+    }
+  | Decide of { time : float; node : string; outcome : Types.outcome }
+  | Complete of {
+      time : float;
+      node : string;
+      outcome : Types.outcome;
+      pending : bool;  (** wait-for-outcome: "outcome pending" indication *)
+    }
+  | Heuristic of { time : float; node : string; action : Types.outcome }
+  | Damage_detected of {
+      time : float;
+      node : string;  (** damaged participant *)
+      reported_to : string;  (** "" when the report is lost *)
+    }
+  | Locks_released of { time : float; node : string }
+  | Crash of { time : float; node : string }
+  | Restart of { time : float; node : string }
+  | Note of { time : float; node : string; text : string }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val clear : t -> unit
+val event_time : event -> float
+
+(** {2 Paper-convention counting} *)
+
+val flows : t -> int
+(** Protocol message flows ([Send] with [protocol = true]). *)
+
+val count_log_writes : ?include_rm:bool -> ?forced_only:bool -> t -> int
+val tm_writes : t -> int
+val tm_forced_writes : t -> int
+val node_flows : t -> string -> int
+val node_writes : ?forced_only:bool -> t -> string -> int
+val heuristic_count : t -> int
+
+val damage_reports : t -> (string * string) list
+(** [(damaged node, reported to)] pairs, oldest first. *)
+
+val completion_time : t -> string -> float option
+val locks_released_time : t -> string -> float option
+
+(** {2 Rendering} *)
+
+val event_to_string : event -> string
+val to_string : t -> string
+
+val sequence_diagram : ?width:int -> t -> nodes:string list -> string
+(** Render a message-sequence chart in the style of the paper's figures:
+    one column per node (in [nodes] order), message arrows between columns,
+    log forces marked beside the writing node. *)

@@ -147,6 +147,109 @@ let default_config =
     implied_ack_delay = 2.0;
   }
 
+(** {2 List-based options API}
+
+    The preferred way to build an {!opts} value: name the optimizations you
+    want and let {!opts_of_list} fold them into the record.  The string forms
+    accepted by {!opt_of_string} are the ones the CLI and bench use, so the
+    three can't drift. *)
+
+type opt =
+  [ `Read_only
+  | `Last_agent
+  | `Unsolicited_vote
+  | `Leave_out
+  | `Shared_log
+  | `Long_locks
+  | `Early_ack
+  | `Vote_reliable
+  | `Wait_for_outcome ]
+
+let all_opts : opt list =
+  [
+    `Read_only;
+    `Last_agent;
+    `Unsolicited_vote;
+    `Leave_out;
+    `Shared_log;
+    `Long_locks;
+    `Early_ack;
+    `Vote_reliable;
+    `Wait_for_outcome;
+  ]
+
+let opt_to_string : opt -> string = function
+  | `Read_only -> "read-only"
+  | `Last_agent -> "last-agent"
+  | `Unsolicited_vote -> "unsolicited"
+  | `Leave_out -> "leave-out"
+  | `Shared_log -> "shared-log"
+  | `Long_locks -> "long-locks"
+  | `Early_ack -> "early-ack"
+  | `Vote_reliable -> "vote-reliable"
+  | `Wait_for_outcome -> "wait-for-outcome"
+
+let opt_of_string s : opt option =
+  match String.lowercase_ascii s with
+  | "read-only" | "readonly" -> Some `Read_only
+  | "last-agent" | "last_agent" -> Some `Last_agent
+  | "unsolicited" | "unsolicited-vote" -> Some `Unsolicited_vote
+  | "leave-out" | "leave_out" -> Some `Leave_out
+  | "shared-log" | "shared_log" -> Some `Shared_log
+  | "long-locks" | "long_locks" -> Some `Long_locks
+  | "early-ack" | "early_ack" -> Some `Early_ack
+  | "vote-reliable" | "vote_reliable" | "reliable" -> Some `Vote_reliable
+  | "wait-for-outcome" | "wait_for_outcome" -> Some `Wait_for_outcome
+  | _ -> None
+
+let apply_opt acc : opt -> opts = function
+  | `Read_only -> { acc with read_only = true }
+  | `Last_agent -> { acc with last_agent = true }
+  | `Unsolicited_vote -> { acc with unsolicited_vote = true }
+  | `Leave_out -> { acc with leave_out = true }
+  | `Shared_log -> { acc with shared_log = true }
+  | `Long_locks -> { acc with long_locks = true }
+  | `Early_ack -> { acc with ack = Early_ack }
+  | `Vote_reliable -> { acc with vote_reliable = true }
+  | `Wait_for_outcome -> { acc with wait_for_outcome = true }
+
+let opts_of_list l = List.fold_left apply_opt no_opts l
+
+let opt_enabled o : opt -> bool = function
+  | `Read_only -> o.read_only
+  | `Last_agent -> o.last_agent
+  | `Unsolicited_vote -> o.unsolicited_vote
+  | `Leave_out -> o.leave_out
+  | `Shared_log -> o.shared_log
+  | `Long_locks -> o.long_locks
+  | `Early_ack -> o.ack = Early_ack
+  | `Vote_reliable -> o.vote_reliable
+  | `Wait_for_outcome -> o.wait_for_outcome
+
+let opts_to_list o = List.filter (opt_enabled o) all_opts
+
+(** {2 Config builders}
+
+    Pipeline-style helpers, e.g.
+    [default_config |> with_protocol Basic |> with_opts [ `Read_only ]]. *)
+
+let with_protocol protocol cfg = { cfg with protocol }
+let with_opts l cfg = { cfg with opts = opts_of_list l }
+let with_opts_record opts cfg = { cfg with opts }
+let with_faults faults cfg = { cfg with faults }
+let with_latency latency cfg = { cfg with latency }
+let with_io_latency io_latency cfg = { cfg with io_latency }
+
+let with_group_commit ~size ~timeout cfg =
+  { cfg with group_commit = Some { Wal.Log.size; timeout } }
+
+let without_group_commit cfg = { cfg with group_commit = None }
+
+let with_retries ~interval ~max cfg =
+  { cfg with retry_interval = interval; max_retries = max }
+
+let with_implied_ack_delay implied_ack_delay cfg = { cfg with implied_ack_delay }
+
 let protocol_to_string = function
   | Basic -> "basic-2pc"
   | Presumed_abort -> "presumed-abort"

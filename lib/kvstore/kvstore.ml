@@ -134,6 +134,16 @@ let put_async t ~txn ~key ~value ~granted =
       log_update t ~txn op;
       granted ())
 
+let get_async t ~txn ~key ~granted =
+  Lockmgr.acquire t.lock_table ~txn ~key:(lock_name t key) Lockmgr.Shared
+    ~granted:(fun () ->
+      let v =
+        match uncommitted_view t ~txn key with
+        | Some v -> v
+        | None -> Hashtbl.find_opt t.store key
+      in
+      granted v)
+
 let is_updated t ~txn =
   match Hashtbl.find_opt t.wsets txn with Some r -> !r <> [] | None -> false
 

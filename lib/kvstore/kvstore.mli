@@ -55,6 +55,12 @@ val put_async :
     possibly immediately.  Used by contention experiments where a
     transaction must block behind the commit protocol's lock release. *)
 
+val get_async :
+  t -> txn:string -> key:string -> granted:(string option -> unit) -> unit
+(** Queued read: waits (FIFO) for the shared lock instead of failing.
+    [granted] fires with the visible value once the lock is held - possibly
+    immediately. *)
+
 val can_lock : t -> txn:string -> key:string -> Lockmgr.mode -> bool
 
 val is_updated : t -> txn:string -> bool

@@ -98,17 +98,20 @@ let table3_tree (opt : Tpc.Cost_model.optimization) ~n ~m =
   | Tpc.Cost_model.Shared_log_opt -> flat ~decorate:(shared_log_mix ~m) ~n ()
   | Tpc.Cost_model.Long_locks_opt -> flat ~decorate:(long_locks_mix ~m) ~n ()
 
-(** The protocol options that activate one optimization. *)
-let table3_opts (opt : Tpc.Cost_model.optimization) =
+(** The protocol switch that activates one Table 3 optimization. *)
+let table3_opt_variant (opt : Tpc.Cost_model.optimization) : opt =
   match opt with
-  | Tpc.Cost_model.Read_only_opt -> { no_opts with read_only = true }
-  | Tpc.Cost_model.Last_agent_opt -> { no_opts with last_agent = true }
-  | Tpc.Cost_model.Unsolicited_vote_opt -> { no_opts with unsolicited_vote = true }
-  | Tpc.Cost_model.Leave_out_opt -> { no_opts with leave_out = true }
-  | Tpc.Cost_model.Vote_reliable_opt -> { no_opts with vote_reliable = true }
-  | Tpc.Cost_model.Wait_for_outcome_opt -> { no_opts with wait_for_outcome = true }
-  | Tpc.Cost_model.Shared_log_opt -> { no_opts with shared_log = true }
-  | Tpc.Cost_model.Long_locks_opt -> { no_opts with long_locks = true }
+  | Tpc.Cost_model.Read_only_opt -> `Read_only
+  | Tpc.Cost_model.Last_agent_opt -> `Last_agent
+  | Tpc.Cost_model.Unsolicited_vote_opt -> `Unsolicited_vote
+  | Tpc.Cost_model.Leave_out_opt -> `Leave_out
+  | Tpc.Cost_model.Vote_reliable_opt -> `Vote_reliable
+  | Tpc.Cost_model.Wait_for_outcome_opt -> `Wait_for_outcome
+  | Tpc.Cost_model.Shared_log_opt -> `Shared_log
+  | Tpc.Cost_model.Long_locks_opt -> `Long_locks
+
+(** The protocol options that activate one optimization. *)
+let table3_opts opt = opts_of_list [ table3_opt_variant opt ]
 
 (** Run the Table 3 experiment for one optimization and return the
     simulated counts. *)
@@ -116,9 +119,33 @@ let run_table3 ?(protocol = Presumed_abort) opt ~n ~m =
   (* with m=0 nobody follows the optimization: switch it off entirely (the
      last-agent switch would otherwise delegate to an arbitrary member) *)
   let opts = if m = 0 then no_opts else table3_opts opt in
-  let config = { default_config with protocol; opts } in
+  let config = default_config |> with_protocol protocol |> with_opts_record opts in
   let metrics, _w = Tpc.Run.commit_tree ~config (table3_tree opt ~n ~m) in
   Tpc.Metrics.counts metrics
+
+(* ------------------------------------------------------------------ *)
+(* Mixer sweeps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Flat commit tree for a {!Tpc.Mixer} sweep: the member-property side of
+    each requested optimization is applied to every subordinate (shared
+    logs, long locks, reliable votes, unsolicited votes, suspendable
+    servers); switches without a member property are ignored here and act
+    through {!Tpc.Types.opts_of_list} alone. *)
+let mixer_tree ?(n = 4) ~opts () =
+  let decorate _ p =
+    List.fold_left
+      (fun p o ->
+        match (o : opt) with
+        | `Unsolicited_vote -> { p with p_unsolicited = true }
+        | `Leave_out -> { p with p_leave_out_ok = true }
+        | `Shared_log -> { p with p_shares_parent_log = true }
+        | `Long_locks -> { p with p_long_locks = true }
+        | `Vote_reliable -> { p with p_reliable = true }
+        | `Read_only | `Last_agent | `Early_ack | `Wait_for_outcome -> p)
+      p opts
+  in
+  flat ~decorate ~n ()
 
 (* ------------------------------------------------------------------ *)
 (* Lock-contention experiment                                          *)

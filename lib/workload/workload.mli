@@ -50,6 +50,9 @@ val table3_tree : Tpc.Cost_model.optimization -> n:int -> m:int -> Tpc.Types.tre
 (** The commit tree for one Table 3 row: flat with [m] members following
     the optimization (a delegation chain for the last-agent row). *)
 
+val table3_opt_variant : Tpc.Cost_model.optimization -> Tpc.Types.opt
+(** The {!Tpc.Types.opt} switch for one Table 3 optimization. *)
+
 val table3_opts : Tpc.Cost_model.optimization -> Tpc.Types.opts
 (** The protocol switches that activate one optimization. *)
 
@@ -62,6 +65,14 @@ val run_table3 :
 (** Run the Table 3 experiment for one optimization and return the
     simulated (flows, writes, forced) counts.  With [m = 0] the
     optimization is switched off entirely. *)
+
+(** {2 Mixer sweeps} *)
+
+val mixer_tree : ?n:int -> opts:Tpc.Types.opt list -> unit -> Tpc.Types.tree
+(** Flat [n]-member tree for a {!Tpc.Mixer} run: the member-property side of
+    each listed optimization (shared logs, long locks, reliable votes,
+    unsolicited votes, suspendable servers) is applied to every
+    subordinate.  Defaults to [n = 4]. *)
 
 (** {2 Lock-contention experiment}
 

@@ -21,4 +21,6 @@ let () =
       ("contention", Test_contention.suite);
       ("stream", Test_stream.suite);
       ("properties", Test_properties.suite);
+      ("opts-api", Test_opts_api.suite);
+      ("mixer", Test_mixer.suite);
     ]

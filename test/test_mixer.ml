@@ -1,0 +1,166 @@
+(* The concurrent throughput engine: determinism, contention behaviour,
+   cross-transaction group commit amortization, piggybacked acks. *)
+
+open Tpc.Types
+module M = Tpc.Mixer
+module Agg = Tpc.Metrics.Agg
+
+let small_tree ~opts = Workload.mixer_tree ~n:4 ~opts ()
+
+let run_cfg ?(config = default_config) cfg =
+  fst (M.run ~config cfg (small_tree ~opts:(opts_to_list config.opts)))
+
+(* -- determinism ---------------------------------------------------- *)
+
+let test_fixed_seed_identical () =
+  let cfg = { M.default_cfg with M.txns = 60; concurrency = 4; seed = 7 } in
+  let a = run_cfg cfg in
+  let b = run_cfg cfg in
+  Alcotest.(check string) "identical aggregates" (Agg.to_json a) (Agg.to_json b)
+
+let test_different_seeds_differ () =
+  let cfg = { M.default_cfg with M.txns = 60; concurrency = 4; seed = 7 } in
+  let a = run_cfg cfg in
+  let b = run_cfg { cfg with M.seed = 8 } in
+  Alcotest.(check bool) "different seeds, different runs" true
+    (Agg.to_json a <> Agg.to_json b)
+
+(* -- liveness and sanity -------------------------------------------- *)
+
+let test_all_transactions_resolve () =
+  let cfg = { M.default_cfg with M.txns = 80; concurrency = 8; seed = 3 } in
+  let agg = run_cfg cfg in
+  Alcotest.(check int) "all resolved" cfg.M.txns (agg.Agg.committed + agg.Agg.aborted);
+  Alcotest.(check bool) "some commits" true (agg.Agg.committed > 0);
+  Alcotest.(check int) "consistent" 0 agg.Agg.consistency_violations;
+  Alcotest.(check bool) "positive throughput" true (agg.Agg.throughput > 0.0);
+  Alcotest.(check bool) "latency percentiles ordered" true
+    (agg.Agg.commit_latency_p50 <= agg.Agg.commit_latency_p95
+    && agg.Agg.commit_latency_p95 <= agg.Agg.commit_latency_p99)
+
+(* -- contention ----------------------------------------------------- *)
+
+let contended_cfg =
+  {
+    M.concurrency = 16;
+    txns = 80;
+    keyspace = 2;
+    update_prob = 0.9;
+    read_prob = 0.1;
+    base_interarrival = 16.0;
+    lock_timeout = 40.0;
+    seed = 11;
+  }
+
+let test_contention_aborts_stay_consistent () =
+  let agg = run_cfg contended_cfg in
+  Alcotest.(check bool) "nonzero aborts under contention" true
+    (agg.Agg.aborted > 0);
+  Alcotest.(check bool) "still commits" true (agg.Agg.committed > 0);
+  Alcotest.(check bool) "locks actually queued" true (agg.Agg.lock_waits > 0);
+  Alcotest.(check int) "every committed txn consistent" 0
+    agg.Agg.consistency_violations
+
+let test_uncontended_no_aborts () =
+  let cfg =
+    {
+      M.default_cfg with
+      M.txns = 40;
+      concurrency = 1;
+      keyspace = 64;
+      update_prob = 0.5;
+      seed = 5;
+    }
+  in
+  let agg = run_cfg cfg in
+  Alcotest.(check int) "no aborts when uncontended" 0 agg.Agg.aborted;
+  Alcotest.(check int) "consistent" 0 agg.Agg.consistency_violations
+
+(* -- group commit across transactions ------------------------------- *)
+
+let test_group_commit_amortizes_across_concurrency () =
+  let config =
+    default_config |> with_group_commit ~size:16 ~timeout:2.0
+  in
+  let base = { M.default_cfg with M.txns = 80; keyspace = 32; seed = 9 } in
+  let solo = run_cfg ~config { base with M.concurrency = 1 } in
+  let packed = run_cfg ~config { base with M.concurrency = 16 } in
+  Alcotest.(check bool) "both runs commit" true
+    (solo.Agg.committed > 0 && packed.Agg.committed > 0);
+  Alcotest.(check int) "solo consistent" 0 solo.Agg.consistency_violations;
+  Alcotest.(check int) "packed consistent" 0 packed.Agg.consistency_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer force I/Os per commit at 16x (%.3f < %.3f)"
+       packed.Agg.force_ios_per_commit solo.Agg.force_ios_per_commit)
+    true
+    (packed.Agg.force_ios_per_commit < solo.Agg.force_ios_per_commit)
+
+(* -- long-locks acks ride real next transactions -------------------- *)
+
+let test_long_locks_piggyback_on_arrivals () =
+  let config =
+    default_config
+    |> with_opts [ `Long_locks ]
+    |> with_implied_ack_delay 500.0
+  in
+  let cfg =
+    { M.default_cfg with M.txns = 40; concurrency = 8; seed = 13 }
+  in
+  let agg, w = M.run ~config cfg (small_tree ~opts:[ `Long_locks ]) in
+  Alcotest.(check int) "all resolved" cfg.M.txns
+    (agg.Agg.committed + agg.Agg.aborted);
+  Alcotest.(check int) "consistent" 0 agg.Agg.consistency_violations;
+  Alcotest.(check bool) "data messages carried the deferred acks" true
+    (agg.Agg.data_flows > 0);
+  (* with think time at 500 and mean inter-arrival ~2, most commits must
+     have been released by a real arrival long before the timer *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 commit latency %.1f beats the think-time timer"
+       agg.Agg.commit_latency_p50)
+    true
+    (agg.Agg.commit_latency_p50 < 500.0);
+  ignore w
+
+(* -- JSON round-trip ------------------------------------------------ *)
+
+let test_agg_json_round_trips () =
+  let agg = run_cfg { M.default_cfg with M.txns = 30; concurrency = 4 } in
+  let line = Agg.to_json agg in
+  let parsed = Tpc.Json.parse line in
+  let get_f name =
+    match Option.map Tpc.Json.to_float_opt (Tpc.Json.member name parsed) with
+    | Some (Some f) -> f
+    | _ -> Alcotest.failf "missing field %s in %s" name line
+  in
+  let get_i name =
+    match Option.map Tpc.Json.to_int_opt (Tpc.Json.member name parsed) with
+    | Some (Some i) -> i
+    | _ -> Alcotest.failf "missing field %s in %s" name line
+  in
+  Alcotest.(check int) "committed" agg.Agg.committed (get_i "committed");
+  Alcotest.(check (float 1e-9)) "throughput" agg.Agg.throughput (get_f "throughput");
+  Alcotest.(check (float 1e-9)) "p99" agg.Agg.commit_latency_p99
+    (get_f "commit_latency_p99");
+  Alcotest.(check (float 1e-9)) "abort rate" agg.Agg.abort_rate (get_f "abort_rate");
+  (* print -> parse -> print is a fixpoint *)
+  Alcotest.(check string) "fixpoint" line (Tpc.Json.to_string parsed)
+
+let suite =
+  [
+    Alcotest.test_case "fixed seed: identical aggregates" `Quick
+      test_fixed_seed_identical;
+    Alcotest.test_case "different seeds differ" `Quick
+      test_different_seeds_differ;
+    Alcotest.test_case "all transactions resolve" `Quick
+      test_all_transactions_resolve;
+    Alcotest.test_case "contention aborts, stays consistent" `Quick
+      test_contention_aborts_stay_consistent;
+    Alcotest.test_case "no contention, no aborts" `Quick
+      test_uncontended_no_aborts;
+    Alcotest.test_case "group commit amortizes across transactions" `Quick
+      test_group_commit_amortizes_across_concurrency;
+    Alcotest.test_case "long-locks acks ride real arrivals" `Quick
+      test_long_locks_piggyback_on_arrivals;
+    Alcotest.test_case "aggregate JSON round-trips" `Quick
+      test_agg_json_round_trips;
+  ]

@@ -1,0 +1,114 @@
+(* The list-based options API and config builders. *)
+
+open Tpc.Types
+
+let test_opts_of_list_round_trip () =
+  List.iter
+    (fun o ->
+      let opts = opts_of_list [ o ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s enabled" (opt_to_string o))
+        true (opt_enabled opts o);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s round-trips" (opt_to_string o))
+        true
+        (opts_to_list opts = [ o ]))
+    all_opts
+
+let test_opts_to_list_full () =
+  let opts = opts_of_list all_opts in
+  Alcotest.(check bool) "all switches survive" true (opts_to_list opts = all_opts);
+  Alcotest.(check bool) "early ack selected" true (opts.ack = Early_ack);
+  Alcotest.(check bool) "empty list is no_opts" true (opts_of_list [] = no_opts);
+  Alcotest.(check bool) "no_opts lists empty" true (opts_to_list no_opts = [])
+
+let test_opt_of_string_inverse () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %s" (opt_to_string o))
+        true
+        (opt_of_string (opt_to_string o) = Some o))
+    all_opts;
+  Alcotest.(check bool) "alias readonly" true
+    (opt_of_string "readonly" = Some `Read_only);
+  Alcotest.(check bool) "alias unsolicited-vote" true
+    (opt_of_string "unsolicited-vote" = Some `Unsolicited_vote);
+  Alcotest.(check bool) "case-insensitive" true
+    (opt_of_string "Shared-Log" = Some `Shared_log);
+  Alcotest.(check bool) "unknown rejected" true (opt_of_string "warp-speed" = None)
+
+let test_config_builders () =
+  let cfg =
+    default_config
+    |> with_protocol Presumed_nothing
+    |> with_opts [ `Read_only; `Last_agent ]
+    |> with_latency 2.5
+    |> with_io_latency 0.25
+    |> with_group_commit ~size:8 ~timeout:3.0
+    |> with_retries ~interval:99.0 ~max:7
+    |> with_implied_ack_delay 4.0
+  in
+  Alcotest.(check bool) "protocol" true (cfg.protocol = Presumed_nothing);
+  Alcotest.(check bool) "opts" true
+    (cfg.opts = opts_of_list [ `Read_only; `Last_agent ]);
+  Alcotest.(check (float 0.0)) "latency" 2.5 cfg.latency;
+  Alcotest.(check (float 0.0)) "io latency" 0.25 cfg.io_latency;
+  (match cfg.group_commit with
+  | Some g ->
+      Alcotest.(check int) "group size" 8 g.Wal.Log.size;
+      Alcotest.(check (float 0.0)) "group timeout" 3.0 g.Wal.Log.timeout
+  | None -> Alcotest.fail "group commit not set");
+  Alcotest.(check bool) "group commit removable" true
+    ((cfg |> without_group_commit).group_commit = None);
+  Alcotest.(check (float 0.0)) "retry interval" 99.0 cfg.retry_interval;
+  Alcotest.(check int) "max retries" 7 cfg.max_retries;
+  Alcotest.(check (float 0.0)) "implied ack delay" 4.0 cfg.implied_ack_delay
+
+(* a run configured through the new API behaves exactly like the record *)
+let test_builders_equivalent_to_records () =
+  let tree () = Workload.flat ~decorate:(Workload.read_only_mix ~m:2) ~n:4 () in
+  let old_school =
+    { default_config with opts = { no_opts with read_only = true; last_agent = true } }
+  in
+  let new_school = default_config |> with_opts [ `Read_only; `Last_agent ] in
+  let m1, _ = Tpc.Run.commit_tree ~config:old_school (tree ()) in
+  let m2, _ = Tpc.Run.commit_tree ~config:new_school (tree ()) in
+  Alcotest.(check string) "identical runs" (Tpc.Metrics.to_json m1)
+    (Tpc.Metrics.to_json m2)
+
+let test_metrics_json_round_trips () =
+  let m, _ = Tpc.Run.commit_tree (Workload.flat ~n:3 ()) in
+  let line = Tpc.Metrics.to_json m in
+  let parsed = Tpc.Json.parse line in
+  (match Tpc.Json.member "outcome" parsed with
+  | Some (Tpc.Json.String s) -> Alcotest.(check string) "outcome" "commit" s
+  | _ -> Alcotest.fail "outcome field missing");
+  (match Tpc.Json.member "flows" parsed with
+  | Some (Tpc.Json.Int f) -> Alcotest.(check int) "flows" m.Tpc.Metrics.flows f
+  | _ -> Alcotest.fail "flows field missing");
+  Alcotest.(check string) "fixpoint" line (Tpc.Json.to_string parsed)
+
+let test_json_parser_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" s) true
+        (Tpc.Json.parse_opt s = None))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "{\"a\":1,}" ]
+
+let suite =
+  [
+    Alcotest.test_case "opts_of_list round-trips each switch" `Quick
+      test_opts_of_list_round_trip;
+    Alcotest.test_case "all switches compose" `Quick test_opts_to_list_full;
+    Alcotest.test_case "opt_of_string inverts opt_to_string" `Quick
+      test_opt_of_string_inverse;
+    Alcotest.test_case "config builders set every field" `Quick
+      test_config_builders;
+    Alcotest.test_case "builders equivalent to record updates" `Quick
+      test_builders_equivalent_to_records;
+    Alcotest.test_case "Metrics.to_json round-trips" `Quick
+      test_metrics_json_round_trips;
+    Alcotest.test_case "JSON parser rejects garbage" `Quick
+      test_json_parser_rejects_garbage;
+  ]

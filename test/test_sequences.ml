@@ -186,9 +186,10 @@ let test_crash_forgets_suspension () =
     (Tpc.Participant.is_suspended (R.participant w "C") ~child:"S");
   (* t2 with S idle: S is engaged anyway *)
   Tpc.Trace.clear w.R.trace;
-  Tpc.Participant.clear_idle_children (R.participant w "C");
+  Tpc.Participant.clear_idle_children (R.participant w "C") ~txn:"t2";
   (match work_plan plan ~txn:"t2" ~node:"S" with
-  | R.Work_none -> Tpc.Participant.note_idle_child (R.participant w "C") ~child:"S"
+  | R.Work_none ->
+      Tpc.Participant.note_idle_child (R.participant w "C") ~txn:"t2" ~child:"S"
   | _ -> ());
   R.perform_work w ~txn:"t2";
   Tpc.Participant.begin_commit (R.participant w "C") ~txn:"t2";
