@@ -1,0 +1,48 @@
+(* json_lint: validate tpc_sim JSON artifacts.
+
+   Usage: json_lint FILE...
+
+   Files ending in .jsonl are checked line by line (every non-empty line
+   must parse); anything else must parse as one JSON document.  All
+   parsing goes through Tpc.Json.parse — the same parser the test suite
+   round-trips through — so CI catches any drift between what the
+   simulator emits and what the tooling can read.  Exits 1 on the first
+   malformed input. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_jsonl path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let checked = ref 0 in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        (try ignore (Tpc.Json.parse line)
+         with Tpc.Json.Parse_error msg ->
+           fail "%s:%d: JSON parse error: %s" path (i + 1) msg);
+        incr checked
+      end)
+    lines;
+  Printf.printf "%s: OK (%d lines)\n" path !checked
+
+let check_json path =
+  (try ignore (Tpc.Json.parse (read_file path))
+   with Tpc.Json.Parse_error msg -> fail "%s: JSON parse error: %s" path msg);
+  Printf.printf "%s: OK\n" path
+
+let () =
+  let paths = List.tl (Array.to_list Sys.argv) in
+  if paths = [] then fail "usage: json_lint FILE...";
+  List.iter
+    (fun path ->
+      if not (Sys.file_exists path) then fail "%s: no such file" path;
+      if Filename.check_suffix path ".jsonl" then check_jsonl path
+      else check_json path)
+    paths

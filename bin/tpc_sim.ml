@@ -78,11 +78,45 @@ let trace_arg =
   let doc = "Print the full event trace." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write the run as Chrome trace-event JSON (openable in Perfetto or \
+     chrome://tracing): one track per node, one span per 2PC phase."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let events_arg =
+  let doc =
+    "Write every trace event as one JSON object per line (JSONL); see \
+     EXPERIMENTS.md for the schema."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~doc ~docv:"FILE")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let diagram_arg =
   let doc = "Render the message-sequence diagram." in
   Arg.(value & flag & info [ "diagram" ] ~doc)
 
 (* --- run -------------------------------------------------------------- *)
+
+let write_telemetry ~tree world trace_out events_out =
+  (match trace_out with
+  | Some path ->
+      write_file path
+        (Tpc.Json.to_string
+           (Tpc.Telemetry.chrome_trace world.Tpc.Run.trace ~tree));
+      Printf.eprintf "wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n"
+        path
+  | None -> ());
+  match events_out with
+  | Some path ->
+      write_file path (Tpc.Telemetry.events_to_jsonl world.Tpc.Run.trace);
+      Printf.eprintf "wrote event JSONL to %s\n" path
+  | None -> ()
 
 let make_tree shape seed n opt m =
   match (shape, opt) with
@@ -102,7 +136,8 @@ let pick_cost_opt opts =
   else if opts.wait_for_outcome then Some Tpc.Cost_model.Wait_for_outcome_opt
   else None
 
-let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram =
+let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram
+    trace_out events_out =
   if n < 1 then (
     Printf.eprintf "tpc_sim: -n must be at least 1\n";
     exit 2);
@@ -123,12 +158,14 @@ let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram =
     Format.printf "@.%s@." (Tpc.Trace.sequence_diagram world.Tpc.Run.trace ~nodes)
   end;
   if show_trace then
-    Format.printf "@.%s@." (Tpc.Trace.to_string world.Tpc.Run.trace)
+    Format.printf "@.%s@." (Tpc.Trace.to_string world.Tpc.Run.trace);
+  write_telemetry ~tree world trace_out events_out
 
 let run_term =
   Term.(
     const run_cmd $ protocol_arg $ opts_arg $ n_arg $ m_arg $ shape_arg
-    $ seed_arg $ latency_arg $ trace_arg $ diagram_arg)
+    $ seed_arg $ latency_arg $ trace_arg $ diagram_arg $ trace_out_arg
+    $ events_arg)
 
 (* --- tables ------------------------------------------------------------ *)
 
@@ -237,8 +274,28 @@ let group_term =
 (* Concurrency x optimization-set sweep over the concurrent workload engine.
    Emits one JSON line per cell so future runs can be tracked as a
    machine-readable trajectory (BENCH_mixer.json). *)
+(* Sim-kernel profiling for one cell, appended to the cell's JSON line as a
+   "meta" stanza.  Kept out of Metrics.Agg on purpose: wall-clock timing is
+   nondeterministic, and Agg.to_json must stay bit-identical across
+   identical-seed runs. *)
+let meta_json (s : Simkernel.Engine.stats) =
+  let open Simkernel.Engine in
+  Tpc.Json.Obj
+    [
+      ("events_processed", Tpc.Json.Int s.events_processed);
+      ("events_scheduled", Tpc.Json.Int s.events_scheduled);
+      ("events_cancelled", Tpc.Json.Int s.events_cancelled);
+      ("max_queue_depth", Tpc.Json.Int s.max_queue_depth);
+      ("wall_seconds", Tpc.Json.Float s.wall_seconds);
+      ( "events_per_second",
+        Tpc.Json.Float
+          (if s.wall_seconds > 0.0 then
+             float_of_int s.events_processed /. s.wall_seconds
+           else 0.0) );
+    ]
+
 let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
-    read_prob interarrival lock_timeout seed group =
+    read_prob interarrival lock_timeout seed group events_out progress =
   if n < 2 then (
     Printf.eprintf "tpc_sim sweep: -n must be at least 2\n";
     exit 2);
@@ -257,6 +314,10 @@ let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
   (* baseline first, then each requested set (a set may be a comma-separated
      combination, e.g. -O read-only,shared-log) *)
   let sets = [] :: List.map parse_set opt_sets in
+  let total_cells = List.length sets * List.length concurrencies in
+  let cells_done = ref 0 in
+  let started = Unix.gettimeofday () in
+  let events_chan = Option.map open_out events_out in
   List.iter
     (fun opts ->
       List.iter
@@ -287,10 +348,41 @@ let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
             }
           in
           let tree = Workload.mixer_tree ~n ~opts () in
-          let agg, _w = Tpc.Mixer.run ~config cfg tree in
-          print_endline (Tpc.Metrics.Agg.to_json agg))
+          let agg, w = Tpc.Mixer.run ~config cfg tree in
+          let line =
+            match Tpc.Metrics.Agg.to_json_value agg with
+            | Tpc.Json.Obj fields ->
+                Tpc.Json.Obj
+                  (fields
+                  @ [
+                      ( "meta",
+                        meta_json (Simkernel.Engine.stats w.Tpc.Run.engine) );
+                    ])
+            | other -> other
+          in
+          print_endline (Tpc.Json.to_string line);
+          (match events_chan with
+          | Some oc ->
+              output_string oc
+                (Tpc.Json.to_string
+                   (Tpc.Json.Obj
+                      [
+                        ("type", Tpc.Json.String "cell");
+                        ("label", Tpc.Json.String agg.Tpc.Metrics.Agg.label);
+                        ("concurrency", Tpc.Json.Int concurrency);
+                        ("seed", Tpc.Json.Int seed);
+                      ])
+                ^ "\n");
+              output_string oc (Tpc.Telemetry.events_to_jsonl w.Tpc.Run.trace)
+          | None -> ());
+          incr cells_done;
+          if progress then
+            Printf.eprintf "sweep: %d/%d cells done (%s c=%d) %.1fs elapsed\n%!"
+              !cells_done total_cells agg.Tpc.Metrics.Agg.label concurrency
+              (Unix.gettimeofday () -. started))
         concurrencies)
-    sets
+    sets;
+  Option.iter close_out events_chan
 
 let sweep_term =
   let concurrencies =
@@ -336,10 +428,60 @@ let sweep_term =
       & info [ "group" ]
           ~doc:"Group commit as SIZE,TIMEOUT (e.g. --group 16,2.0).")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Report sweep progress on stderr: one line per completed cell \
+             with cells done / total and elapsed wall time.")
+  in
   Term.(
     const sweep_cmd $ protocol_arg $ opts_arg $ concurrencies $ n_arg $ txns
     $ keyspace $ update_prob $ read_prob $ interarrival $ lock_timeout
-    $ seed_arg $ group)
+    $ seed_arg $ group $ events_arg $ progress)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+(* Sim-kernel profiling: run one mixer cell and report what the discrete-event
+   engine did (events processed/scheduled/cancelled, queue-depth high-water
+   mark, wall-clock time). *)
+let stats_cmd protocol opt_names n txns concurrency seed =
+  if n < 2 then (
+    Printf.eprintf "tpc_sim stats: -n must be at least 2\n";
+    exit 2);
+  let opts = build_opts opt_names in
+  let config = default_config |> with_protocol protocol |> with_opts_record opts in
+  let cfg = { Tpc.Mixer.default_cfg with txns; concurrency; seed } in
+  let tree = Workload.mixer_tree ~n ~opts:(opts_to_list opts) () in
+  let agg, w = Tpc.Mixer.run ~config cfg tree in
+  let s = Simkernel.Engine.stats w.Tpc.Run.engine in
+  let open Simkernel.Engine in
+  Format.printf
+    "mixer: label=%s n=%d txns=%d concurrency=%d committed=%d aborted=%d@."
+    agg.Tpc.Metrics.Agg.label n txns concurrency
+    agg.Tpc.Metrics.Agg.committed agg.Tpc.Metrics.Agg.aborted;
+  Format.printf "engine:@.";
+  Format.printf "  events processed   %d@." s.events_processed;
+  Format.printf "  events scheduled   %d@." s.events_scheduled;
+  Format.printf "  events cancelled   %d@." s.events_cancelled;
+  Format.printf "  max queue depth    %d@." s.max_queue_depth;
+  Format.printf "  wall seconds       %.6f@." s.wall_seconds;
+  Format.printf "  events/second      %.0f@."
+    (if s.wall_seconds > 0.0 then
+       float_of_int s.events_processed /. s.wall_seconds
+     else 0.0)
+
+let stats_term =
+  let txns =
+    Arg.(value & opt int 1000 & info [ "txns" ] ~doc:"Transactions to run.")
+  in
+  let concurrency =
+    Arg.(value & opt int 8 & info [ "c"; "concurrency" ] ~doc:"Concurrency level.")
+  in
+  Term.(
+    const stats_cmd $ protocol_arg $ opts_arg $ n_arg $ txns $ concurrency
+    $ seed_arg)
 
 (* --- crash ----------------------------------------------------------------- *)
 
@@ -371,7 +513,7 @@ let point_conv =
   in
   Arg.conv (parse, print)
 
-let crash_cmd protocol node point restart =
+let crash_cmd protocol node point restart trace_out events_out =
   if not (List.mem node [ "coord"; "c1"; "c2" ]) then (
     Printf.eprintf
       "tpc_sim: --node must be one of coord, c1, c2 (the three-member chain)\n";
@@ -384,7 +526,8 @@ let crash_cmd protocol node point restart =
   let tree = Workload.chain ~n:3 () in
   let metrics, world = Tpc.Run.commit_tree ~config tree in
   Format.printf "%a@.@.%s@." Tpc.Metrics.pp metrics
-    (Tpc.Trace.to_string world.Tpc.Run.trace)
+    (Tpc.Trace.to_string world.Tpc.Run.trace);
+  write_telemetry ~tree world trace_out events_out
 
 let crash_term =
   let node =
@@ -401,7 +544,9 @@ let crash_term =
       & opt (some float) (Some 30.0)
       & info [ "restart-after" ] ~doc:"Restart delay; omit for a permanent crash.")
   in
-  Term.(const crash_cmd $ protocol_arg $ node $ point $ restart)
+  Term.(
+    const crash_cmd $ protocol_arg $ node $ point $ restart $ trace_out_arg
+    $ events_arg)
 
 (* --- command tree ------------------------------------------------------------- *)
 
@@ -428,4 +573,7 @@ let () =
             cmd "sweep" sweep_term
               "Concurrent throughput sweep: concurrency x optimization sets, \
                one JSON line per cell.";
+            cmd "stats" stats_term
+              "Sim-kernel profiling: run one mixer cell and report engine \
+               statistics.";
           ]))

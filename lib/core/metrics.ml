@@ -69,15 +69,29 @@ let of_run ~trace ~wals ~root ~outcome ~pending ~quiesce_time =
 let counts t : Cost_model.counts =
   { Cost_model.flows = t.flows; writes = t.tm_writes; forced = t.tm_forced }
 
-(* nearest-rank percentile over an unsorted sample *)
-let percentile samples p =
-  match List.sort compare samples with
-  | [] -> nan
-  | sorted ->
-      let n = List.length sorted in
-      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-      let idx = min (n - 1) (max 0 (rank - 1)) in
-      List.nth sorted idx
+(* Nearest-rank percentiles.  The sort is paid once per sample set: callers
+   that need several percentiles go through [sorted_samples] +
+   [percentile_of_sorted] (or [percentiles]) instead of re-sorting per
+   query.  This stays the exact reference implementation the streaming
+   [Obs.Histogram] is tested against. *)
+
+let sorted_samples samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  a
+
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+
+let percentile samples p = percentile_of_sorted (sorted_samples samples) p
+
+let percentiles samples ps =
+  let sorted = sorted_samples samples in
+  List.map (percentile_of_sorted sorted) ps
 
 let json_of_float_opt = function
   | None -> Json.Null
@@ -143,9 +157,27 @@ module Agg = struct
     force_ios : int;
     force_ios_per_commit : float;
     consistency_violations : int;
+    phase_latency : (string * Obs.Histogram.summary) list;
+        (** per 2PC phase (voting, in-doubt, decision, phase-two, ...):
+            time-in-phase distribution across all nodes and transactions,
+            from the participants' streaming histograms *)
   }
 
   let ratio num den = if den = 0 then 0.0 else num /. float_of_int den
+
+  let finite f = if Float.is_nan f then 0.0 else f
+
+  let summary_to_json (s : Obs.Histogram.summary) =
+    Json.Obj
+      [
+        ("count", Json.Int s.s_count);
+        ("mean", Json.Float (finite s.s_mean));
+        ("min", Json.Float (finite s.s_min));
+        ("max", Json.Float (finite s.s_max));
+        ("p50", Json.Float (finite s.s_p50));
+        ("p95", Json.Float (finite s.s_p95));
+        ("p99", Json.Float (finite s.s_p99));
+      ]
 
   let to_json_value t =
     Json.Obj
@@ -175,6 +207,10 @@ module Agg = struct
         ("force_ios", Json.Int t.force_ios);
         ("force_ios_per_commit", Json.Float t.force_ios_per_commit);
         ("consistency_violations", Json.Int t.consistency_violations);
+        ( "phase_latency",
+          Json.Obj
+            (List.map (fun (ph, s) -> (ph, summary_to_json s)) t.phase_latency)
+        );
       ]
 
   let to_json t = Json.to_string (to_json_value t)

@@ -31,7 +31,20 @@ val counts : t -> Cost_model.counts
 
 val percentile : float list -> float -> float
 (** [percentile samples p] is the nearest-rank [p]-th percentile of the
-    (unsorted) sample list; [nan] on an empty list. *)
+    (unsorted) sample list; [nan] on an empty list.  This is the exact
+    reference implementation the streaming [Obs.Histogram] approximates.
+    For several percentiles of one sample set, use {!percentiles} (or
+    {!sorted_samples} + {!percentile_of_sorted}) so the sort is paid
+    once. *)
+
+val percentiles : float list -> float list -> float list
+(** [percentiles samples ps] sorts once and answers every requested
+    percentile. *)
+
+val sorted_samples : float list -> float array
+(** Sort once, query many times with {!percentile_of_sorted}. *)
+
+val percentile_of_sorted : float array -> float -> float
 
 val to_json : t -> string
 (** Compact single-line JSON object; parses with {!Json.parse}. *)
@@ -69,10 +82,17 @@ module Agg : sig
     force_ios : int;
     force_ios_per_commit : float;
     consistency_violations : int;
+    phase_latency : (string * Obs.Histogram.summary) list;
+        (** per 2PC phase (voting, in-doubt, decision, phase-two, ...):
+            time-in-phase distribution across all nodes and transactions,
+            from the participants' streaming histograms *)
   }
 
   val ratio : float -> int -> float
   (** [ratio num den] is [num /. den], or [0.] when [den = 0]. *)
+
+  val summary_to_json : Obs.Histogram.summary -> Json.t
+  (** NaNs (empty histograms) serialize as [0.0]. *)
 
   val to_json_value : t -> Json.t
   val to_json : t -> string

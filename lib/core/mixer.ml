@@ -77,12 +77,19 @@ let node_has_work x name =
    report a commit before subordinates have applied it. *)
 let consistency_violations w records =
   let violations = ref 0 in
+  (* one pass over each physical log builds the (rm, txn) commit index;
+     scanning per transaction would be quadratic in the run length *)
+  let rm_commits = Hashtbl.create 1024 in
+  List.iter
+    (fun wal ->
+      List.iter
+        (fun (r : Wal.Log_record.t) ->
+          if r.kind = Wal.Log_record.Rm_committed then
+            Hashtbl.replace rm_commits (r.node, r.txn) ())
+        (Wal.Log.all_records wal))
+    (Run.all_wals w);
   let rm_committed n txn =
-    let rm = (n : Run.node).Run.profile.p_name ^ ".rm" in
-    List.exists
-      (fun (r : Wal.Log_record.t) ->
-        r.txn = txn && r.node = rm && r.kind = Wal.Log_record.Rm_committed)
-      (Wal.Log.all_records n.Run.wal)
+    Hashtbl.mem rm_commits ((n : Run.node).Run.profile.p_name ^ ".rm", txn)
   in
   List.iter
     (fun x ->
@@ -138,6 +145,15 @@ let run ?(config = default_config) cfg tree =
   if cfg.txns <= 0 then invalid_arg "Mixer.run: txns must be positive";
   let w = Run.setup ~config tree in
   let engine = w.Run.engine in
+  let reg = w.Run.registry in
+  (* Latency distributions stream into bounded log-bucketed histograms as
+     transactions finish: memory stays proportional to the dynamic range of
+     the data, not to [cfg.txns], so multi-million-transaction sweeps are
+     safe.  [Metrics.percentile] remains the exact reference these
+     approximate (within one bucket). *)
+  let h_commit = Obs.Registry.histogram reg "mixer/commit_latency" in
+  let h_hold = Obs.Registry.histogram reg "mixer/lock_hold" in
+  let h_wait = Obs.Registry.histogram reg "mixer/lock_wait" in
   let rng = Simkernel.Det_rng.create ~seed:cfg.seed in
   let records : (string, txn_rec) Hashtbl.t = Hashtbl.create cfg.txns in
   let order = ref [] in  (* arrival order, newest first *)
@@ -168,6 +184,9 @@ let run ?(config = default_config) cfg tree =
     if x.x_completed = None then begin
       x.x_completed <- Some (E.now engine);
       x.x_outcome <- Some outcome;
+      (match (outcome, x.x_commit_started) with
+      | Committed, Some s -> Obs.Histogram.record h_commit (E.now engine -. s)
+      | _ -> ());
       Participant.clear_idle_children (Run.participant w w.Run.root) ~txn:x.x_txn;
       decr outstanding;
       maybe_done ()
@@ -280,7 +299,8 @@ let run ?(config = default_config) cfg tree =
           let waited = E.now engine -. requested in
           if waited > 1e-9 then begin
             x.x_waits <- x.x_waits + 1;
-            x.x_wait_time <- x.x_wait_time +. waited
+            x.x_wait_time <- x.x_wait_time +. waited;
+            Obs.Histogram.record h_wait waited
           end;
           if x.x_timed_out then
             (* granted after we gave up: let it go again *)
@@ -340,35 +360,26 @@ let run ?(config = default_config) cfg tree =
   let aborted =
     List.length (List.filter (fun x -> x.x_outcome = Some Aborted) all)
   in
-  let commit_latencies =
-    List.filter_map
-      (fun x ->
-        match (x.x_commit_started, x.x_completed) with
-        | Some s, Some c when x.x_outcome = Some Committed -> Some (c -. s)
-        | _ -> None)
-      all
-  in
-  let lock_holds =
-    List.filter_map
-      (fun x ->
-        if x.x_outcome <> Some Committed then None
-        else
-          let nodes =
-            List.sort_uniq compare (List.map (fun it -> it.it_node) x.x_items)
-          in
-          match nodes with
-          | [] -> None
-          | _ ->
-              Some
-                (List.fold_left
-                   (fun acc name ->
-                     acc
-                     +. Lockmgr.txn_lock_time
-                          (Kvstore.locks (Run.kv w name))
-                          ~txn:x.x_txn)
-                   0.0 nodes))
-      all
-  in
+  (* lock holds are only known once the lock manager has seen the releases:
+     stream them into the histogram here rather than collecting a list *)
+  List.iter
+    (fun x ->
+      if x.x_outcome = Some Committed then
+        let nodes =
+          List.sort_uniq compare (List.map (fun it -> it.it_node) x.x_items)
+        in
+        match nodes with
+        | [] -> ()
+        | _ ->
+            Obs.Histogram.record h_hold
+              (List.fold_left
+                 (fun acc name ->
+                   acc
+                   +. Lockmgr.txn_lock_time
+                        (Kvstore.locks (Run.kv w name))
+                        ~txn:x.x_txn)
+                 0.0 nodes))
+    all;
   let last_completion =
     List.fold_left
       (fun acc x -> match x.x_completed with Some c -> max acc c | None -> acc)
@@ -391,10 +402,17 @@ let run ?(config = default_config) cfg tree =
   let total_wait_time =
     List.fold_left (fun acc x -> acc +. x.x_wait_time) 0.0 all
   in
-  let pct = Metrics.percentile in
-  let mean_of = function
-    | [] -> 0.0
-    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  let q h p = if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.quantile h p in
+  let hist_mean h = if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.mean h in
+  let phase_latency =
+    List.filter_map
+      (fun (name, h) ->
+        let prefix = "phase/" in
+        let pl = String.length prefix in
+        if String.length name > pl && String.sub name 0 pl = prefix then
+          Some (String.sub name pl (String.length name - pl), Obs.Histogram.summary h)
+        else None)
+      (Obs.Registry.histograms reg)
   in
   let ratio = Metrics.Agg.ratio in
   let agg =
@@ -407,13 +425,13 @@ let run ?(config = default_config) cfg tree =
       duration;
       throughput = (if duration > 0.0 then ratio (float_of_int committed) 1 /. duration else 0.0);
       abort_rate = ratio (float_of_int aborted) cfg.txns;
-      commit_latency_p50 = (if commit_latencies = [] then 0.0 else pct commit_latencies 50.0);
-      commit_latency_p95 = (if commit_latencies = [] then 0.0 else pct commit_latencies 95.0);
-      commit_latency_p99 = (if commit_latencies = [] then 0.0 else pct commit_latencies 99.0);
-      commit_latency_mean = mean_of commit_latencies;
-      lock_hold_p50 = (if lock_holds = [] then 0.0 else pct lock_holds 50.0);
-      lock_hold_p95 = (if lock_holds = [] then 0.0 else pct lock_holds 95.0);
-      lock_hold_p99 = (if lock_holds = [] then 0.0 else pct lock_holds 99.0);
+      commit_latency_p50 = q h_commit 50.0;
+      commit_latency_p95 = q h_commit 95.0;
+      commit_latency_p99 = q h_commit 99.0;
+      commit_latency_mean = hist_mean h_commit;
+      lock_hold_p50 = q h_hold 50.0;
+      lock_hold_p95 = q h_hold 95.0;
+      lock_hold_p99 = q h_hold 99.0;
       lock_wait_mean = ratio total_wait_time cfg.txns;
       lock_waits = total_waits;
       flows;
@@ -424,6 +442,7 @@ let run ?(config = default_config) cfg tree =
       force_ios;
       force_ios_per_commit = ratio (float_of_int force_ios) committed;
       consistency_violations = consistency_violations w all;
+      phase_latency;
     }
   in
   (agg, w)

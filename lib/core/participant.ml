@@ -35,6 +35,8 @@ type child = {
 type txn_state = {
   txn : string;
   mutable phase : phase;
+  mutable phase_since : float;
+      (* when [phase] was entered; feeds the per-phase latency histograms *)
   mutable parent : string option;   (* who sent us Prepare / delegation *)
   mutable delegator : string option; (* parent that handed us the decision *)
   mutable children : child list;    (* participating children this txn *)
@@ -51,6 +53,9 @@ type txn_state = {
   mutable heuristic_timer : Simkernel.Engine.event option;
   mutable indoubt_timer : Simkernel.Engine.event option;
   mutable awaiting_implied_ack : bool; (* END deferred until next-txn data *)
+  mutable logged_tm : bool;
+      (* this node wrote a TM record for the txn: answers "does END have
+         anything to mark" without rescanning the whole log *)
 }
 
 (* An acknowledgment (or last-agent implied ack) waiting to piggyback on the
@@ -82,6 +87,8 @@ type t = {
   mutable crashed : bool;
   mutable epoch : int;
   mutable on_root_complete : (txn:string -> outcome -> pending:bool -> unit) option;
+  mutable registry : Obs.Registry.t option;
+      (* telemetry sink for per-phase residence times; [None] = no recording *)
   suspended_children : (string, unit) Hashtbl.t;
       (* children whose last committed YES carried OK-TO-LEAVE-OUT: they are
          suspended awaiting data and may be left out of the next transaction *)
@@ -115,6 +122,7 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     crashed = false;
     epoch = 0;
     on_root_complete = None;
+    registry = None;
     suspended_children = Hashtbl.create 4;
     idle_children = Hashtbl.create 4;
     deferred = [];
@@ -125,6 +133,7 @@ let kv t = t.kv
 let log t = t.log
 let is_crashed t = t.crashed
 let set_on_root_complete t f = t.on_root_complete <- Some f
+let set_registry t reg = t.registry <- Some reg
 
 (* The workload driver declares, per transaction, which immediate children
    exchanged no data with this member; a child that is both idle and
@@ -158,6 +167,32 @@ let cancel_timer t ev_opt =
 let trace t ev = Trace.record t.trace ev
 
 (* ------------------------------------------------------------------ *)
+(* Phase telemetry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let phase_name = function
+  | Ph_idle -> "idle"
+  | Ph_voting -> "voting"
+  | Ph_in_doubt -> "in-doubt"
+  | Ph_delegated -> "delegated"
+  | Ph_deciding -> "decision"
+  | Ph_propagating -> "phase-two"
+  | Ph_ended -> "ended"
+
+(* Every phase transition goes through here: the residence time of the
+   phase being left streams into the registry's "phase/<name>" histogram
+   (idle residence is meaningless — states are created on demand). *)
+let set_phase t st ph =
+  (match t.registry with
+  | Some reg when ph <> st.phase && st.phase <> Ph_idle ->
+      Obs.Registry.observe reg
+        ("phase/" ^ phase_name st.phase)
+        (now t -. st.phase_since)
+  | _ -> ());
+  st.phase_since <- now t;
+  st.phase <- ph
+
+(* ------------------------------------------------------------------ *)
 (* Messaging                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -184,7 +219,13 @@ let send t ~dst payloads =
 
 (* Shared-log members write their records into the parent's log without
    forcing: durability rides on the parent TM's forces. *)
+let mark_logged t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> st.logged_tm <- true
+  | None -> ()
+
 let tm_force t ~txn kind k =
+  mark_logged t ~txn;
   let record = Wal.Log_record.make ~txn ~node:t.name kind in
   if t.cfg.opts.shared_log && t.profile.p_shares_parent_log then begin
     trace t
@@ -201,6 +242,7 @@ let tm_force t ~txn kind k =
   end
 
 let tm_append t ~txn kind =
+  mark_logged t ~txn;
   trace t
     (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
   Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.name kind)
@@ -249,6 +291,7 @@ and new_txn_state t txn =
     {
       txn;
       phase = Ph_idle;
+      phase_since = now t;
       parent = None;
       delegator = None;
       children = [];
@@ -265,6 +308,7 @@ and new_txn_state t txn =
       heuristic_timer = None;
       indoubt_timer = None;
       awaiting_implied_ack = false;
+      logged_tm = false;
     }
   in
   Hashtbl.replace t.txns txn st;
@@ -315,7 +359,7 @@ and participating_children t ~txn =
 (* Entry point at the root coordinator. *)
 and begin_commit t ~txn =
   let st = get_or_new_txn t txn in
-  st.phase <- Ph_voting;
+  set_phase t st Ph_voting;
   st.children <- participating_children t ~txn;
   if t.cfg.protocol = Presumed_nothing then
     (* PN: the coordinator must remember its subordinates before any
@@ -504,7 +548,7 @@ and on_all_yes t st =
 
 and delegate_to_last_agent t st agent =
   let proceed () =
-    st.phase <- Ph_delegated;
+    set_phase t st Ph_delegated;
     let reliable =
       t.profile.p_reliable
       && List.for_all
@@ -569,7 +613,7 @@ and vote_yes_up t st parent =
          (e.g. a dual-initiation abort): do not send a stale YES *)
     else if maybe_crash t Cp_after_prepared_log then ()
     else begin
-      st.phase <- Ph_in_doubt;
+      set_phase t st Ph_in_doubt;
       st.sent_vote_reliable <- elide_ack;
       send t ~dst:parent
         [
@@ -605,12 +649,12 @@ and begin_unsolicited t ~txn =
   | Some parent ->
       let st = get_or_new_txn t txn in
       st.parent <- Some parent;
-      st.phase <- Ph_voting;
+      set_phase t st Ph_voting;
       st.children <- [];
       let elide_ack = t.cfg.opts.vote_reliable && t.profile.p_reliable in
       Kvstore.prepare t.kv ~txn ~force:false (fun _kv_vote ->
           tm_force t ~txn Wal.Log_record.Prepared (fun () ->
-              st.phase <- Ph_in_doubt;
+              set_phase t st Ph_in_doubt;
               st.sent_vote_reliable <- elide_ack;
               st.local_vote <-
                 Some (Vote_yes { reliable = t.profile.p_reliable; leave_out_ok = false });
@@ -635,7 +679,7 @@ and begin_unsolicited t ~txn =
 (* ------------------------------------------------------------------ *)
 
 and decide t st outcome =
-  st.phase <- Ph_deciding;
+  set_phase t st Ph_deciding;
   st.outcome <- Some outcome;
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
   if maybe_crash t Cp_before_decision_log then ()
@@ -720,7 +764,7 @@ and propagate_decision t st outcome =
           ch.ch_acked <- true
       | Committed | Aborted -> start_ack_retry t st ch))
     recipients;
-  st.phase <- Ph_propagating;
+  set_phase t st Ph_propagating;
   (* early acknowledgment upstream, if the policy allows it *)
   if st.parent <> None && not st.acked_up then begin
     let all_children_reliable =
@@ -892,11 +936,14 @@ and root_complete t st outcome =
 and finish_with_end t st =
   (* The END record marks earlier state as forgettable; a presumed-abort
      participant that logged nothing (PA abort case) has nothing to mark. *)
+  (* the tracked bit answers in O(1); the log scan remains only for states
+     rebuilt by crash recovery, where the bit was lost with the state *)
   let logged_anything =
-    List.exists
-      (fun (r : Wal.Log_record.t) ->
-        r.txn = st.txn && r.node = t.name && Wal.Log_record.is_tm_record r)
-      (Wal.Log.all_records t.log)
+    st.logged_tm
+    || List.exists
+         (fun (r : Wal.Log_record.t) ->
+           r.txn = st.txn && r.node = t.name && Wal.Log_record.is_tm_record r)
+         (Wal.Log.all_records t.log)
   in
   if logged_anything then tm_append t ~txn:st.txn Wal.Log_record.End;
   (* anyone who delegated the decision owes the last agent an implied
@@ -910,7 +957,7 @@ and finish_with_end t st =
   end_txn t st (Option.get st.outcome)
 
 and end_txn t st outcome =
-  st.phase <- Ph_ended;
+  set_phase t st Ph_ended;
   cancel_timer t st.vote_timer;
   cancel_timer t st.heuristic_timer;
   cancel_timer t st.indoubt_timer;
@@ -1016,7 +1063,7 @@ and handle_prepare t ~src ~txn ~long_locks =
     if st.phase = Ph_idle then begin
       st.parent <- Some src;
       st.long_locks_requested <- long_locks;
-      st.phase <- Ph_voting;
+      set_phase t st Ph_voting;
       (* keep votes that arrived before the Prepare (unsolicited voters) *)
       let early = st.children in
       st.children <-
@@ -1118,7 +1165,7 @@ and handle_delegation t ~src ~txn vote =
         let st = get_or_new_txn t txn in
         if st.phase = Ph_idle then begin
           st.delegator <- Some src;
-          st.phase <- Ph_voting;
+          set_phase t st Ph_voting;
           st.children <- participating_children t ~txn;
           start_phase1 t st
         end
@@ -1158,7 +1205,7 @@ and subordinate_decision t st outcome =
   | None ->
       if maybe_crash t Cp_after_decision_received then ()
       else begin
-        st.phase <- Ph_deciding;
+        set_phase t st Ph_deciding;
         (match (outcome, t.cfg.protocol) with
         | Committed, _ ->
             tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
@@ -1197,7 +1244,7 @@ and resolve_heuristic t st ~action ~outcome =
     | Committed -> Wal.Log_record.Committed
     | Aborted -> Wal.Log_record.Aborted);
   st.decision_durable <- true;
-  st.phase <- Ph_propagating;
+  set_phase t st Ph_propagating;
   (* local state already (heuristically) resolved; propagate the real
      outcome so the subtree converges and damage reports surface *)
   propagate_decision t st outcome;
@@ -1207,7 +1254,7 @@ and resolve_heuristic t st ~action ~outcome =
 and delegator_decision t st outcome =
   st.outcome <- Some outcome;
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
-  st.phase <- Ph_deciding;
+  set_phase t st Ph_deciding;
   match (outcome, t.cfg.protocol) with
   | Committed, _ ->
       tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
@@ -1340,7 +1387,17 @@ and handle_payload t ~src = function
   | Msg.Inquiry_reply { txn; outcome } -> handle_inquiry_reply t ~txn outcome
 
 and handler t ~src payloads =
-  if not t.crashed then List.iter (handle_payload t ~src) payloads
+  if not t.crashed then begin
+    trace t
+      (Trace.Deliver
+         {
+           time = now t;
+           src;
+           dst = t.name;
+           label = Msg.bundle_label payloads;
+         });
+    List.iter (handle_payload t ~src) payloads
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Restart and log-driven recovery                                     *)
@@ -1383,7 +1440,7 @@ and recover_txn t ~txn ~kinds =
    heard it.  Re-drive phase two toward every static child. *)
 and resume_propagation t ~txn outcome =
   let st = new_txn_state t txn in
-  st.phase <- Ph_propagating;
+  set_phase t st Ph_propagating;
   st.outcome <- Some outcome;
   st.decision_durable <- true;
   st.parent <- t.parent_name;
@@ -1431,7 +1488,7 @@ and resume_propagation t ~txn outcome =
 
 and resume_in_doubt t ~txn =
   let st = new_txn_state t txn in
-  st.phase <- Ph_in_doubt;
+  set_phase t st Ph_in_doubt;
   st.parent <- t.parent_name;
   (* assume every static child voted YES so that the eventual decision is
      re-propagated through us *)
@@ -1469,7 +1526,7 @@ and resume_pn_abort t ~txn =
          text = "PN recovery: commit-pending without outcome - aborting";
        });
   let st = new_txn_state t txn in
-  st.phase <- Ph_deciding;
+  set_phase t st Ph_deciding;
   st.parent <- t.parent_name;
   st.children <-
     List.map

@@ -42,6 +42,13 @@ val set_on_root_complete :
     reports the outcome of [txn] to its application ([pending] is the
     wait-for-outcome "recovery still in progress" indication). *)
 
+val set_registry : t -> Obs.Registry.t -> unit
+(** Attach a telemetry registry: every protocol phase transition then
+    streams the residence time of the phase being left into the
+    registry's ["phase/<name>"] histogram (names: [voting], [in-doubt],
+    [delegated], [decision], [phase-two], [ended]).  Without a registry
+    the participant records nothing. *)
+
 val begin_commit : t -> txn:string -> unit
 (** Initiate commit processing for [txn] with this participant as the
     (root) coordinator.  Under Presumed Nothing this forces the

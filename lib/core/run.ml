@@ -15,6 +15,7 @@ type world = {
   engine : Simkernel.Engine.t;
   net : Net.t;
   trace : Trace.t;
+  registry : Obs.Registry.t;  (** telemetry: per-phase latency histograms *)
   cfg : config;
   tree : tree;
   nodes : (string * node) list;  (** tree order, root first *)
@@ -41,6 +42,7 @@ let setup ?(config = default_config) tree =
   let engine = Simkernel.Engine.create () in
   let net = Net.create engine ~default_latency:config.latency () in
   let trace = Trace.create () in
+  let registry = Obs.Registry.create () in
   let wal_config =
     { Wal.Log.io_latency = config.io_latency; group = config.group_commit }
   in
@@ -57,13 +59,25 @@ let setup ?(config = default_config) tree =
         ~wal ~kv
     in
     Participant.attach participant;
+    Participant.set_registry participant registry;
     ((p.p_name, { participant; wal; kv; profile = p }) :: [])
     @ List.concat_map (build (Some p.p_name) (Some wal)) children
   in
   let nodes = build None None tree in
   let root = (tree_profile tree).p_name in
   let w =
-    { engine; net; trace; cfg = config; tree; nodes; root; outcome = None; pending = false }
+    {
+      engine;
+      net;
+      trace;
+      registry;
+      cfg = config;
+      tree;
+      nodes;
+      root;
+      outcome = None;
+      pending = false;
+    }
   in
   Participant.set_on_root_complete (participant w root)
     (fun ~txn:_ outcome ~pending ->

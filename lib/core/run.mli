@@ -15,6 +15,9 @@ type world = {
   engine : Simkernel.Engine.t;
   net : Net.t;
   trace : Trace.t;
+  registry : Obs.Registry.t;
+      (** telemetry registry shared by every member: per-phase residence
+          histograms ("phase/voting", ...) plus whatever the driver adds *)
   cfg : Types.config;
   tree : Types.tree;
   nodes : (string * node) list;  (** tree order, root first *)

@@ -1,0 +1,331 @@
+(** Span-based telemetry derived from the event trace.
+
+    Two exportable views of a {!Trace.t}:
+
+    - {b Phase spans}: per-node intervals for the 2PC phases ([prepare],
+      [voting], [decision], [phase-two], [ack]), derived from the trace's
+      message, log and decision events, with parent links mirroring the
+      commit tree.  {!chrome_trace} renders them as Chrome trace-event
+      JSON — the [traceEvents] format Perfetto and [chrome://tracing]
+      open directly.
+    - {b Structured events}: one JSON object per trace event
+      ({!event_to_json}), streamed as JSONL by the CLI's [--events].
+
+    Span derivation is anchor-based and total: every boundary falls back
+    to the previous one, so a node that appears in the trace at all gets
+    all five phase spans (degenerate phases have zero duration), whatever
+    protocol variant or optimization set produced the trace. *)
+
+let phase_names = [ "prepare"; "voting"; "decision"; "phase-two"; "ack" ]
+
+(* ------------------------------------------------------------------ *)
+(* Span derivation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let is_prepare l = contains l "Prepare"
+let is_vote l = contains l "Vote"
+let is_decision l = contains l "Commit" || contains l "Abort" || contains l "Outcome"
+let is_ack l = contains l "Ack"
+
+(* Does the event involve [node] as the acting member? *)
+let involves node = function
+  | Trace.Send { src; _ } -> src = node
+  | Trace.Deliver { dst; _ } -> dst = node
+  | Trace.Log_write { node = n; _ }
+  | Trace.Decide { node = n; _ }
+  | Trace.Complete { node = n; _ }
+  | Trace.Heuristic { node = n; _ }
+  | Trace.Locks_released { node = n; _ }
+  | Trace.Crash { node = n; _ }
+  | Trace.Restart { node = n; _ }
+  | Trace.Note { node = n; _ } ->
+      n = node
+  | Trace.Damage_detected { node = n; reported_to; _ } ->
+      n = node || reported_to = node
+
+(* First event satisfying [p], optionally at or after [after]. *)
+let first_time ?(after = neg_infinity) events p =
+  List.find_map
+    (fun e ->
+      let time = Trace.event_time e in
+      if time >= after && p e then Some time else None)
+    events
+
+let last_time events p =
+  List.fold_left
+    (fun acc e -> if p e then Some (Trace.event_time e) else acc)
+    None events
+
+(** Derive the five phase spans for one node.  [None] when the node never
+    appears in the trace (e.g. left out of the commit entirely). *)
+let node_spans ?parent events node =
+  match first_time events (involves node) with
+  | None -> None
+  | Some enter ->
+      let dflt d o = Option.value ~default:d o in
+      let send_l p = function
+        | Trace.Send { src; label; _ } -> src = node && p label
+        | _ -> false
+      in
+      let deliver_l p = function
+        | Trace.Deliver { dst; label; _ } -> dst = node && p label
+        | _ -> false
+      in
+      let log_k ks = function
+        | Trace.Log_write { node = n; kind; rm = false; _ } ->
+            n = node && List.mem kind ks
+        | _ -> false
+      in
+      let decide = function Trace.Decide { node = n; _ } -> n = node | _ -> false in
+      let complete = function Trace.Complete { node = n; _ } -> n = node | _ -> false in
+      let released = function
+        | Trace.Locks_released { node = n; _ } -> n = node
+        | _ -> false
+      in
+      (* prepare: learning of the commit / disseminating Prepare downward *)
+      let prep_end =
+        dflt enter
+          (match last_time events (send_l is_prepare) with
+          | Some t -> Some t
+          | None -> (
+              match first_time events (log_k [ Wal.Log_record.Prepared ]) with
+              | Some t -> Some t
+              | None -> first_time events (send_l is_vote)))
+      in
+      let prep_end = Float.max enter prep_end in
+      (* voting: until the vote leaves (subordinate) or the decision is
+         reached (coordinator / delegate) *)
+      let vote_end =
+        dflt prep_end
+          (match first_time events decide with
+          | Some t -> Some t
+          | None -> (
+              match first_time events (send_l is_vote) with
+              | Some t -> Some t
+              | None -> first_time events (deliver_l is_decision)))
+      in
+      let vote_end = Float.max prep_end vote_end in
+      (* decision: outcome known -> outcome durable and locks released *)
+      let dec_start =
+        dflt vote_end
+          (match first_time events decide with
+          | Some t -> Some t
+          | None -> first_time events (deliver_l is_decision))
+      in
+      let dec_start = Float.max vote_end dec_start in
+      let dec_end =
+        dflt dec_start
+          (match first_time ~after:dec_start events released with
+          | Some t -> Some t
+          | None ->
+              first_time ~after:dec_start events
+                (log_k
+                   Wal.Log_record.
+                     [ Committed; Aborted; Heuristic_commit; Heuristic_abort ]))
+      in
+      let dec_end = Float.max dec_start dec_end in
+      (* phase-two: propagating the outcome / waiting for acknowledgments *)
+      let p2_end =
+        dflt dec_end
+          (match last_time events (deliver_l is_ack) with
+          | Some t -> Some t
+          | None -> (
+              match first_time ~after:dec_end events (send_l is_ack) with
+              | Some t -> Some t
+              | None -> first_time events complete))
+      in
+      let p2_end = Float.max dec_end p2_end in
+      (* ack/forget: the END record and application notification *)
+      let node_end =
+        Float.max p2_end
+          (dflt p2_end
+             (last_time events (fun e ->
+                  log_k [ Wal.Log_record.End ] e || complete e)))
+      in
+      let mk name start stop =
+        Obs.Span.make ?parent ~node ~start ~stop name
+      in
+      Some
+        [
+          mk "prepare" enter prep_end;
+          mk "voting" prep_end vote_end;
+          mk "decision" dec_start dec_end;
+          mk "phase-two" dec_end p2_end;
+          mk "ack" p2_end node_end;
+        ]
+
+let spans_for trace ~nodes =
+  let events = Trace.events trace in
+  List.concat_map
+    (fun (node, parent) ->
+      Option.value ~default:[] (node_spans ?parent events node))
+    nodes
+
+(* depth-first member list with each member's parent *)
+let rec tree_nodes ?parent (Types.Tree (p, children)) =
+  (p.Types.p_name, parent)
+  :: List.concat_map (tree_nodes ~parent:p.Types.p_name) children
+
+let spans trace ~tree = spans_for trace ~nodes:(tree_nodes tree)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One simulation time unit renders as one millisecond: Perfetto expects
+   [ts]/[dur] in microseconds. *)
+let default_time_scale = 1000.0
+
+let chrome_span ~scale ~tid (s : Obs.Span.t) =
+  Json.Obj
+    [
+      ("name", Json.String s.Obs.Span.sp_name);
+      ("cat", Json.String s.Obs.Span.sp_cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float (s.Obs.Span.sp_start *. scale));
+      ("dur", Json.Float (s.Obs.Span.sp_dur *. scale));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ( "args",
+        Json.Obj
+          (("node", Json.String s.Obs.Span.sp_node)
+          :: (match s.Obs.Span.sp_parent with
+             | Some p -> [ ("parent", Json.String p) ]
+             | None -> [])
+          @ List.map
+              (fun (k, v) -> (k, Json.String v))
+              s.Obs.Span.sp_args) );
+    ]
+
+let chrome_instant ~scale ~tid ~time name =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("cat", Json.String "event");
+      ("ph", Json.String "i");
+      ("ts", Json.Float (time *. scale));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("s", Json.String "t");
+    ]
+
+let thread_meta ~tid name =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let chrome_trace ?(time_scale = default_time_scale) trace ~tree =
+  let nodes = tree_nodes tree in
+  let tid_of =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i (n, _) -> Hashtbl.replace tbl n i) nodes;
+    fun n -> Option.value ~default:(List.length nodes) (Hashtbl.find_opt tbl n)
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "tpc_sim") ]);
+      ]
+    :: List.mapi (fun i (n, _) -> thread_meta ~tid:i n) nodes
+  in
+  let span_events =
+    List.map
+      (fun (s : Obs.Span.t) ->
+        chrome_span ~scale:time_scale ~tid:(tid_of s.Obs.Span.sp_node) s)
+      (spans_for trace ~nodes)
+  in
+  let instants =
+    List.filter_map
+      (fun e ->
+        let inst node name time =
+          Some (chrome_instant ~scale:time_scale ~tid:(tid_of node) ~time name)
+        in
+        match e with
+        | Trace.Decide { time; node; outcome } ->
+            inst node ("decide " ^ Types.outcome_to_string outcome) time
+        | Trace.Complete { time; node; outcome; pending } ->
+            inst node
+              (Printf.sprintf "complete %s%s"
+                 (Types.outcome_to_string outcome)
+                 (if pending then " (pending)" else ""))
+              time
+        | Trace.Heuristic { time; node; action } ->
+            inst node ("HEURISTIC " ^ Types.outcome_to_string action) time
+        | Trace.Crash { time; node } -> inst node "CRASH" time
+        | Trace.Restart { time; node } -> inst node "restart" time
+        | Trace.Damage_detected { time; node; _ } -> inst node "damage" time
+        | _ -> None)
+      (Trace.events trace)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ span_events @ instants));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Structured events (JSONL)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema: every line is an object with "type" and "time"; the remaining
+   fields are type-specific and documented in EXPERIMENTS.md. *)
+let event_to_json e =
+  let f x = Json.Float x and s x = Json.String x and b x = Json.Bool x in
+  let obj ty time rest = Json.Obj (("type", s ty) :: ("time", f time) :: rest) in
+  match e with
+  | Trace.Send { time; src; dst; label; protocol } ->
+      obj "send" time
+        [ ("src", s src); ("dst", s dst); ("label", s label); ("protocol", b protocol) ]
+  | Trace.Deliver { time; src; dst; label } ->
+      obj "deliver" time [ ("src", s src); ("dst", s dst); ("label", s label) ]
+  | Trace.Log_write { time; node; kind; forced; rm } ->
+      obj "log_write" time
+        [
+          ("node", s node);
+          ("kind", s (Wal.Log_record.kind_to_string kind));
+          ("forced", b forced);
+          ("rm", b rm);
+        ]
+  | Trace.Decide { time; node; outcome } ->
+      obj "decide" time
+        [ ("node", s node); ("outcome", s (Types.outcome_to_string outcome)) ]
+  | Trace.Complete { time; node; outcome; pending } ->
+      obj "complete" time
+        [
+          ("node", s node);
+          ("outcome", s (Types.outcome_to_string outcome));
+          ("pending", b pending);
+        ]
+  | Trace.Heuristic { time; node; action } ->
+      obj "heuristic" time
+        [ ("node", s node); ("action", s (Types.outcome_to_string action)) ]
+  | Trace.Damage_detected { time; node; reported_to } ->
+      obj "damage_detected" time
+        [ ("node", s node); ("reported_to", s reported_to) ]
+  | Trace.Locks_released { time; node } ->
+      obj "locks_released" time [ ("node", s node) ]
+  | Trace.Crash { time; node } -> obj "crash" time [ ("node", s node) ]
+  | Trace.Restart { time; node } -> obj "restart" time [ ("node", s node) ]
+  | Trace.Note { time; node; text } ->
+      obj "note" time [ ("node", s node); ("text", s text) ]
+
+let events_to_jsonl trace =
+  match Trace.events trace with
+  | [] -> ""
+  | events ->
+      String.concat "\n"
+        (List.map (fun e -> Json.to_string (event_to_json e)) events)
+      ^ "\n"

@@ -1,11 +1,25 @@
 exception Negative_delay of float
 
-type event = { id : int; etime : float }
-
-(* The agenda is a binary min-heap ordered by (time, id).  The [id] tiebreak
-   gives FIFO semantics for same-time events, which is what makes runs
-   deterministic. *)
+(* The agenda is a binary min-heap ordered by (time, seq).  The [seq]
+   tiebreak gives FIFO semantics for same-time events, which is what makes
+   runs deterministic. *)
 type cell = { time : float; seq : int; mutable thunk : (unit -> unit) option }
+
+(* The handle IS the heap cell, so cancellation is O(1): clear the thunk
+   and let [step] discard the dead cell when it surfaces. *)
+type event = cell
+
+(* Profiling counters: cheap enough to maintain unconditionally, and purely
+   observational — nothing in the simulation reads them back, so determinism
+   is untouched.  [wall_seconds] is host time spent firing events, the only
+   non-virtual quantity in the whole simulator. *)
+type stats = {
+  events_processed : int;
+  events_scheduled : int;
+  events_cancelled : int;
+  max_queue_depth : int;
+  wall_seconds : float;
+}
 
 type t = {
   mutable clock : float;
@@ -13,12 +27,35 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable live : int; (* non-cancelled entries in the heap *)
+  mutable processed : int;
+  mutable cancelled : int;
+  mutable queue_hwm : int; (* high-water mark of live entries *)
+  mutable wall : float;
 }
 
 let dummy_cell = { time = 0.0; seq = -1; thunk = None }
 
 let create () =
-  { clock = 0.0; heap = Array.make 64 dummy_cell; size = 0; next_seq = 0; live = 0 }
+  {
+    clock = 0.0;
+    heap = Array.make 64 dummy_cell;
+    size = 0;
+    next_seq = 0;
+    live = 0;
+    processed = 0;
+    cancelled = 0;
+    queue_hwm = 0;
+    wall = 0.0;
+  }
+
+let stats t =
+  {
+    events_processed = t.processed;
+    events_scheduled = t.next_seq;
+    events_cancelled = t.cancelled;
+    max_queue_depth = t.queue_hwm;
+    wall_seconds = t.wall;
+  }
 
 let now t = t.clock
 
@@ -71,27 +108,25 @@ let schedule_at t ~time f =
   if time < t.clock then raise (Negative_delay (time -. t.clock));
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  push t { time; seq; thunk = Some f };
+  let cell = { time; seq; thunk = Some f } in
+  push t cell;
   t.live <- t.live + 1;
-  { id = seq; etime = time }
+  if t.live > t.queue_hwm then t.queue_hwm <- t.live;
+  cell
 
 let schedule t ~delay f =
   if delay < 0.0 then raise (Negative_delay delay);
   schedule_at t ~time:(t.clock +. delay) f
 
-(* Cancellation marks the cell; the heap entry is discarded lazily when it
-   reaches the top.  O(n) scan avoided; we find the cell by (time, id). *)
-let cancel t ev =
-  let found = ref false in
-  for i = 0 to t.size - 1 do
-    let c = t.heap.(i) in
-    if (not !found) && c.seq = ev.id && c.time = ev.etime && c.thunk <> None
-    then begin
-      c.thunk <- None;
-      found := true
-    end
-  done;
-  if !found then t.live <- t.live - 1
+(* Cancellation clears the handle's thunk; the dead heap entry is discarded
+   lazily when it reaches the top.  Cancelling a fired or already-cancelled
+   event is a no-op ([step] clears the thunk before firing). *)
+let cancel t (c : event) =
+  if c.thunk <> None then begin
+    c.thunk <- None;
+    t.live <- t.live - 1;
+    t.cancelled <- t.cancelled + 1
+  end
 
 let pending t = t.live
 
@@ -102,13 +137,19 @@ let step t =
     (match cell.thunk with
     | None -> () (* cancelled *)
     | Some f ->
+        cell.thunk <- None (* a late cancel of this handle is a no-op *);
         t.live <- t.live - 1;
         t.clock <- cell.time;
+        t.processed <- t.processed + 1;
         f ());
     true
   end
 
-let rec run t = if step t then run t
+let run t =
+  let t0 = Unix.gettimeofday () in
+  let rec loop () = if step t then loop () in
+  loop ();
+  t.wall <- t.wall +. (Unix.gettimeofday () -. t0)
 
 let rec run_until t horizon =
   if t.size > 0 && t.heap.(0).time <= horizon then begin

@@ -41,6 +41,23 @@ val run_until : t -> float -> unit
 val step : t -> bool
 (** Fire the single next event.  Returns [false] if the agenda was empty. *)
 
+(** {2 Profiling}
+
+    Observational counters maintained by the engine itself; nothing in the
+    simulation reads them back, so determinism is untouched. *)
+
+type stats = {
+  events_processed : int;  (** thunks actually fired *)
+  events_scheduled : int;  (** {!schedule}/{!schedule_at} calls *)
+  events_cancelled : int;  (** {!cancel} calls that hit a pending event *)
+  max_queue_depth : int;  (** high-water mark of pending (live) events *)
+  wall_seconds : float;
+      (** host wall-clock time spent inside {!run} — the only non-virtual
+          quantity in the simulator *)
+}
+
+val stats : t -> stats
+
 exception Negative_delay of float
 (** Raised by {!schedule} on a negative delay and by {!schedule_at} on a
     time before [now]. *)

@@ -23,4 +23,6 @@ let () =
       ("properties", Test_properties.suite);
       ("opts-api", Test_opts_api.suite);
       ("mixer", Test_mixer.suite);
+      ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,279 @@
+(* The obs library: streaming histograms, the metrics registry, spans --
+   and the acceptance criterion tying them to the simulator: histogram
+   quantiles track the exact Metrics.percentile within one bucket on a
+   >= 10k-transaction mixer run, with memory independent of the
+   transaction count. *)
+
+module H = Obs.Histogram
+module R = Obs.Registry
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* relative error tolerance from the acceptance criterion; the histogram's
+   own bound at the default resolution is sqrt(gamma) - 1 ~ 4% *)
+let tolerance = 0.10
+
+let rel_err exact approx =
+  if exact = 0.0 then Float.abs approx else Float.abs (approx -. exact) /. exact
+
+let check_quantiles_against_exact ~msg samples h =
+  let sorted = Tpc.Metrics.sorted_samples samples in
+  List.iter
+    (fun p ->
+      let exact = Tpc.Metrics.percentile_of_sorted sorted p in
+      let approx = H.quantile h p in
+      if rel_err exact approx > tolerance then
+        Alcotest.failf "%s: p%.0f exact %.6f vs histogram %.6f (err %.1f%%)"
+          msg p exact approx
+          (100.0 *. rel_err exact approx))
+    [ 50.0; 90.0; 95.0; 99.0 ]
+
+(* --- histogram ------------------------------------------------------- *)
+
+let test_quantile_accuracy () =
+  (* three deterministic streams with different shapes and dynamic ranges *)
+  let streams =
+    [
+      ( "exponential",
+        let rng = Simkernel.Det_rng.create ~seed:11 in
+        List.init 20_000 (fun _ -> Simkernel.Det_rng.exponential rng ~mean:7.5)
+      );
+      ( "uniform",
+        let rng = Simkernel.Det_rng.create ~seed:13 in
+        List.init 20_000 (fun _ -> 0.5 +. Simkernel.Det_rng.float rng 99.5) );
+      ( "heavy-tail",
+        let rng = Simkernel.Det_rng.create ~seed:17 in
+        List.init 20_000 (fun _ ->
+            let u = Simkernel.Det_rng.float rng 1.0 in
+            0.1 /. (1.0 -. (0.999 *. u))) );
+    ]
+  in
+  List.iter
+    (fun (msg, samples) ->
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      check_quantiles_against_exact ~msg samples h)
+    streams
+
+let test_exact_side_stats () =
+  let h = H.create () in
+  List.iter (H.record h) [ 3.0; 1.0; 4.0; 1.5; 9.0 ];
+  Alcotest.(check int) "count" 5 (H.count h);
+  check_float "sum" 18.5 (H.sum h);
+  check_float "mean" 3.7 (H.mean h);
+  check_float "min exact" 1.0 (H.min_value h);
+  check_float "max exact" 9.0 (H.max_value h)
+
+let test_single_value_clamps () =
+  let h = H.create () in
+  for _ = 1 to 100 do
+    H.record h 5.5
+  done;
+  (* clamping to the observed min/max makes a constant stream exact *)
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%.0f" p) 5.5 (H.quantile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_empty_and_nan () =
+  let h = H.create () in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (H.quantile h 50.0));
+  H.record h Float.nan;
+  Alcotest.(check int) "nan ignored" 0 (H.count h)
+
+let test_low_bucket () =
+  let h = H.create () in
+  List.iter (H.record h) [ 0.0; -2.0; 0.0 ];
+  Alcotest.(check int) "low values counted" 3 (H.count h);
+  check_float "quantile reports the observed min" (-2.0) (H.quantile h 50.0)
+
+let test_memory_independent_of_samples () =
+  let record_n n =
+    let rng = Simkernel.Det_rng.create ~seed:23 in
+    let h = H.create () in
+    for _ = 1 to n do
+      H.record h (Simkernel.Det_rng.exponential rng ~mean:42.0)
+    done;
+    h
+  in
+  let small = record_n 1_000 and big = record_n 100_000 in
+  (* memory is bounded by the data's dynamic range (resolution * decades
+     spanned), never by the sample count *)
+  let range_bound h =
+    let decades = Float.log10 (H.max_value h /. H.min_value h) in
+    int_of_float (ceil (float_of_int (H.resolution h) *. decades)) + 2
+  in
+  Alcotest.(check bool) "within the dynamic-range bound" true
+    (H.bucket_count small <= range_bound small
+    && H.bucket_count big <= range_bound big);
+  Alcotest.(check bool) "footprint does not scale with count" true
+    (H.bucket_count big <= H.count big / 100
+    && H.bucket_count big < 2 * H.bucket_count small)
+
+let test_merge_matches_combined () =
+  let rng = Simkernel.Det_rng.create ~seed:29 in
+  let xs = List.init 5_000 (fun _ -> Simkernel.Det_rng.exponential rng ~mean:3.0) in
+  let ys = List.init 5_000 (fun _ -> Simkernel.Det_rng.exponential rng ~mean:30.0) in
+  let hx = H.create () and hy = H.create () and hboth = H.create () in
+  List.iter (H.record hx) xs;
+  List.iter (H.record hy) ys;
+  List.iter (H.record hboth) (xs @ ys);
+  H.merge ~into:hx hy;
+  Alcotest.(check int) "merged count" (H.count hboth) (H.count hx);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "merged p%.0f equals combined" p)
+        (H.quantile hboth p) (H.quantile hx p))
+    [ 50.0; 95.0; 99.0 ]
+
+let test_merge_resolution_mismatch () =
+  let a = H.create ~buckets_per_decade:10 () in
+  let b = H.create ~buckets_per_decade:30 () in
+  Alcotest.check_raises "resolutions must match"
+    (Invalid_argument "Histogram.merge: resolution mismatch") (fun () ->
+      H.merge ~into:a b)
+
+let test_summary () =
+  let h = H.create () in
+  List.iter (H.record h) [ 2.0; 2.0; 2.0; 2.0 ];
+  let s = H.summary h in
+  Alcotest.(check int) "count" 4 s.H.s_count;
+  check_float "mean" 2.0 s.H.s_mean;
+  check_float "p50" 2.0 s.H.s_p50;
+  check_float "p99" 2.0 s.H.s_p99
+
+(* --- registry -------------------------------------------------------- *)
+
+let test_registry_counters_gauges () =
+  let r = R.create () in
+  R.incr r "commits";
+  R.incr r ~by:4 "commits";
+  Alcotest.(check int) "counter" 5 (R.counter_value r "commits");
+  Alcotest.(check int) "missing counter reads 0" 0 (R.counter_value r "nope");
+  R.set_gauge r "depth" 3.0;
+  R.set_gauge r "depth" 1.0;
+  Alcotest.(check (option (float 1e-9))) "set overwrites" (Some 1.0)
+    (R.gauge_value r "depth");
+  R.max_gauge r "hwm" 3.0;
+  R.max_gauge r "hwm" 1.0;
+  Alcotest.(check (option (float 1e-9))) "max keeps hwm" (Some 3.0)
+    (R.gauge_value r "hwm")
+
+let test_registry_histograms () =
+  let r = R.create () in
+  R.observe r "lat" 1.0;
+  R.observe r "lat" 2.0;
+  let h = R.histogram r "lat" in
+  Alcotest.(check int) "observe find-or-creates" 2 (H.count h);
+  Alcotest.(check bool) "find_histogram" true (R.find_histogram r "lat" <> None);
+  Alcotest.(check bool) "unknown name" true (R.find_histogram r "x" = None);
+  R.observe r "b" 1.0;
+  R.observe r "a" 1.0;
+  Alcotest.(check (list string)) "name-sorted listing" [ "a"; "b"; "lat" ]
+    (List.map fst (R.histograms r))
+
+let test_registry_merge () =
+  let a = R.create () and b = R.create () in
+  R.incr a ~by:2 "n";
+  R.incr b ~by:3 "n";
+  R.max_gauge a "g" 1.0;
+  R.max_gauge b "g" 5.0;
+  R.observe a "h" 1.0;
+  R.observe b "h" 10.0;
+  R.merge ~into:a b;
+  Alcotest.(check int) "counters add" 5 (R.counter_value a "n");
+  Alcotest.(check (option (float 1e-9))) "gauges keep max" (Some 5.0)
+    (R.gauge_value a "g");
+  Alcotest.(check int) "histograms merge" 2 (H.count (R.histogram a "h"))
+
+(* --- span ------------------------------------------------------------ *)
+
+let test_span_clamps () =
+  let s = Obs.Span.make ~node:"n" ~start:4.0 ~stop:3.0 "x" in
+  check_float "negative duration clamps to zero" 0.0 s.Obs.Span.sp_dur;
+  check_float "stop" 4.0 (Obs.Span.stop s)
+
+(* --- acceptance: histogram vs exact on a 10k-transaction mixer run --- *)
+
+(* Uncontended baseline mix: every transaction's 2PC is identical, so the
+   per-commit multiset of voting-phase residencies is known exactly from
+   the default timeline (latency 1.0, io 0.5): the coordinator sits in
+   voting from Prepare send (0.0) to decision (2.5); each of the two
+   subordinates from Prepare delivery (1.0) to Vote send (1.5). *)
+let mixer_cfg txns =
+  {
+    Tpc.Mixer.default_cfg with
+    txns;
+    concurrency = 1;
+    keyspace = 64;
+    seed = 7;
+  }
+
+let run_mixer txns =
+  let tree = Workload.mixer_tree ~n:3 ~opts:[] () in
+  Tpc.Mixer.run (mixer_cfg txns) tree
+
+let test_mixer_histogram_matches_exact () =
+  let agg, w = run_mixer 10_000 in
+  Alcotest.(check int) "all 10k committed" 10_000 agg.Tpc.Metrics.Agg.committed;
+  let h =
+    match R.find_histogram w.Tpc.Run.registry "phase/voting" with
+    | Some h -> h
+    | None -> Alcotest.fail "no phase/voting histogram"
+  in
+  Alcotest.(check int) "one sample per member per transaction" 30_000
+    (H.count h);
+  let exact_per_commit = [ 2.5; 0.5; 0.5 ] in
+  let exact =
+    List.concat_map (fun _ -> exact_per_commit) (List.init 10_000 Fun.id)
+  in
+  check_quantiles_against_exact ~msg:"mixer phase/voting" exact h;
+  (* the aggregate's summaries come from the same histograms *)
+  let s = List.assoc "voting" agg.Tpc.Metrics.Agg.phase_latency in
+  Alcotest.(check int) "agg summary count" 30_000 s.H.s_count;
+  check_float "agg summary p50" (H.quantile h 50.0) s.H.s_p50
+
+let test_mixer_histogram_memory_bound () =
+  let _, w1 = run_mixer 1_000 and _, w10 = run_mixer 10_000 in
+  let buckets w name =
+    match R.find_histogram w.Tpc.Run.registry name with
+    | Some h -> H.bucket_count h
+    | None -> Alcotest.failf "no %s histogram" name
+  in
+  List.iter
+    (fun name ->
+      let b1 = buckets w1 name and b10 = buckets w10 name in
+      Alcotest.(check bool)
+        (name ^ ": memory independent of transaction count")
+        true
+        (b10 <= b1 + 10 && b10 <= 150))
+    [ "mixer/commit_latency"; "mixer/lock_hold"; "phase/voting" ]
+
+let suite =
+  [
+    Alcotest.test_case "quantiles track exact percentiles" `Quick
+      test_quantile_accuracy;
+    Alcotest.test_case "exact side statistics" `Quick test_exact_side_stats;
+    Alcotest.test_case "constant stream is exact" `Quick
+      test_single_value_clamps;
+    Alcotest.test_case "empty and NaN handling" `Quick test_empty_and_nan;
+    Alcotest.test_case "low bucket" `Quick test_low_bucket;
+    Alcotest.test_case "memory independent of sample count" `Quick
+      test_memory_independent_of_samples;
+    Alcotest.test_case "merge equals combined stream" `Quick
+      test_merge_matches_combined;
+    Alcotest.test_case "merge rejects mixed resolutions" `Quick
+      test_merge_resolution_mismatch;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "registry counters and gauges" `Quick
+      test_registry_counters_gauges;
+    Alcotest.test_case "registry histograms" `Quick test_registry_histograms;
+    Alcotest.test_case "registry merge" `Quick test_registry_merge;
+    Alcotest.test_case "span clamps negative durations" `Quick
+      test_span_clamps;
+    Alcotest.test_case "10k-txn mixer: histogram vs exact percentile" `Slow
+      test_mixer_histogram_matches_exact;
+    Alcotest.test_case "10k-txn mixer: bounded histogram memory" `Slow
+      test_mixer_histogram_memory_bound;
+  ]

@@ -1,0 +1,233 @@
+(* Telemetry: phase spans derived from the trace, the Chrome trace-event
+   export and the structured-event JSONL sink. *)
+
+module T = Tpc.Telemetry
+module Json = Tpc.Json
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* default PA commit over the three-member flat tree: the timeline other
+   tests pin down (completion at 5.5 with latency 1.0, io 0.5) *)
+let default_run () =
+  let tree = Workload.flat ~n:3 () in
+  let _metrics, world = Tpc.Run.commit_tree tree in
+  (tree, world)
+
+let span spans node name =
+  match
+    List.find_opt
+      (fun s -> s.Obs.Span.sp_node = node && s.Obs.Span.sp_name = name)
+      spans
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "no %s span for %s" name node
+
+let test_all_phases_all_nodes () =
+  let tree, world = default_run () in
+  let spans = T.spans world.Tpc.Run.trace ~tree in
+  let nodes = List.map (fun p -> p.Tpc.Types.p_name) (Tpc.Types.tree_members tree) in
+  Alcotest.(check int) "five spans per node"
+    (5 * List.length nodes)
+    (List.length spans);
+  List.iter
+    (fun node ->
+      (* contiguous, non-negative, inside the run *)
+      let ss = List.map (span spans node) T.phase_names in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "non-negative duration" true
+            (s.Obs.Span.sp_dur >= 0.0);
+          Alcotest.(check bool) "within the run" true
+            (s.Obs.Span.sp_start >= 0.0 && Obs.Span.stop s <= 5.5))
+        ss;
+      (* monotone and non-overlapping; a gap is legitimate (a subordinate
+         is in-doubt between sending its vote and learning the outcome) *)
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "phases in protocol order" true
+            (b.Obs.Span.sp_start >= Obs.Span.stop a -. 1e-9))
+        (List.filteri (fun i _ -> i < 4) ss)
+        (List.tl ss))
+    nodes
+
+let test_parent_links_mirror_tree () =
+  let tree, world = default_run () in
+  let spans = T.spans world.Tpc.Run.trace ~tree in
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      if s.Obs.Span.sp_node = "coord" then
+        Alcotest.(check bool) "root has no parent" true
+          (s.Obs.Span.sp_parent = None)
+      else
+        Alcotest.(check (option string)) "subordinate's parent is the root"
+          (Some "coord") s.Obs.Span.sp_parent)
+    spans
+
+(* boundary times agree with the trace: the coordinator decides at 2.5 and
+   has released locks by 3.0; subordinates get Prepare at 1.0, vote at 1.5,
+   learn the decision at 4.0 and are done at 4.5 *)
+let test_durations_consistent_with_trace () =
+  let tree, world = default_run () in
+  let trace = world.Tpc.Run.trace in
+  let spans = T.spans trace ~tree in
+  let coord_decision = span spans "coord" "decision" in
+  check_float "coord decision starts at the Decide event" 2.5
+    coord_decision.Obs.Span.sp_start;
+  check_float "coord decision ends at lock release"
+    (Option.get (Tpc.Trace.locks_released_time trace "coord"))
+    (Obs.Span.stop coord_decision);
+  let coord_p2 = span spans "coord" "phase-two" in
+  check_float "coord phase-two runs to the last ack"
+    (Option.get (Tpc.Trace.completion_time trace "coord"))
+    (Obs.Span.stop coord_p2);
+  let sub_voting = span spans "sub0" "voting" in
+  check_float "sub voting from Prepare delivery" 1.0
+    sub_voting.Obs.Span.sp_start;
+  check_float "sub voting to the Vote send" 1.5 (Obs.Span.stop sub_voting);
+  let sub_decision = span spans "sub0" "decision" in
+  check_float "sub decision from Commit delivery" 4.0
+    sub_decision.Obs.Span.sp_start;
+  check_float "sub decision to lock release"
+    (Option.get (Tpc.Trace.locks_released_time trace "sub0"))
+    (Obs.Span.stop sub_decision)
+
+let test_absent_node_has_no_spans () =
+  Alcotest.(check bool) "empty trace yields no spans" true
+    (T.node_spans [] "ghost" = None)
+
+(* --- Chrome trace-event export --------------------------------------- *)
+
+let members = function Json.Obj fields -> fields | _ -> []
+
+let str_member name j =
+  match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+
+let test_chrome_trace_shape () =
+  let tree, world = default_run () in
+  let j = T.chrome_trace world.Tpc.Run.trace ~tree in
+  (* survives a serialization round trip through the repo's own parser *)
+  let j = Json.parse (Json.to_string j) in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  Alcotest.(check (option string)) "displayTimeUnit" (Some "ms")
+    (Option.bind (Json.member "displayTimeUnit" j) Json.to_string_opt);
+  let complete =
+    List.filter (fun e -> str_member "ph" e = Some "X") events
+  in
+  Alcotest.(check int) "one X event per phase per node" 15
+    (List.length complete);
+  let threads =
+    List.filter_map
+      (fun e ->
+        if str_member "name" e = Some "thread_name" then
+          Option.bind (Json.member "args" e) (str_member "name")
+        else None)
+      events
+  in
+  Alcotest.(check (list string)) "one named track per node"
+    [ "coord"; "sub0"; "sub1" ] (List.sort compare threads);
+  List.iter
+    (fun e ->
+      let num name =
+        match Option.bind (Json.member name e) Json.to_float_opt with
+        | Some v -> v
+        | None -> Alcotest.failf "X event lacks %s" name
+      in
+      Alcotest.(check bool) "ts/dur in scaled microseconds" true
+        (num "ts" >= 0.0
+        && num "dur" >= 0.0
+        && num "ts" +. num "dur" <= 5.5 *. T.default_time_scale);
+      Alcotest.(check bool) "args carry the node" true
+        (Option.bind (Json.member "args" e) (str_member "node") <> None))
+    complete
+
+let test_chrome_trace_span_times_scale () =
+  let tree, world = default_run () in
+  let j = T.chrome_trace world.Tpc.Run.trace ~tree in
+  let spans = T.spans world.Tpc.Run.trace ~tree in
+  let events =
+    match Json.member "traceEvents" j with Some (Json.List l) -> l | _ -> []
+  in
+  (* every span appears with ts = sp_start * scale on the right track *)
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      let found =
+        List.exists
+          (fun e ->
+            str_member "ph" e = Some "X"
+            && str_member "name" e = Some s.Obs.Span.sp_name
+            && Option.bind (Json.member "args" e) (str_member "node")
+               = Some s.Obs.Span.sp_node
+            && Option.bind (Json.member "ts" e) Json.to_float_opt
+               = Some (s.Obs.Span.sp_start *. T.default_time_scale))
+          events
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s/%s exported" s.Obs.Span.sp_node
+           s.Obs.Span.sp_name)
+        true found)
+    spans
+
+(* --- structured events (JSONL) --------------------------------------- *)
+
+let test_events_jsonl () =
+  let _tree, world = default_run () in
+  let trace = world.Tpc.Run.trace in
+  let jsonl = T.events_to_jsonl trace in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per event"
+    (List.length (Tpc.Trace.events trace))
+    (List.length lines);
+  List.iter
+    (fun line ->
+      let j = Json.parse line in
+      Alcotest.(check bool) "every line has type and time" true
+        (str_member "type" j <> None
+        && Option.bind (Json.member "time" j) Json.to_float_opt <> None))
+    lines;
+  let first = Json.parse (List.hd lines) in
+  Alcotest.(check (option string)) "first event is the Prepare send"
+    (Some "send") (str_member "type" first);
+  Alcotest.(check (option string)) "with its label" (Some "Prepare")
+    (str_member "label" first)
+
+let test_event_to_json_fields () =
+  let e =
+    Tpc.Trace.Log_write
+      { time = 1.0; node = "n"; kind = Wal.Log_record.Prepared; forced = true;
+        rm = false }
+  in
+  let j = T.event_to_json e in
+  Alcotest.(check (option string)) "kind" (Some "prepared")
+    (str_member "kind" j);
+  Alcotest.(check bool) "forced flag survives" true
+    (Json.member "forced" j = Some (Json.Bool true));
+  ignore (members j)
+
+let test_empty_trace_jsonl () =
+  let t = Tpc.Trace.create () in
+  Alcotest.(check string) "empty trace, empty output" ""
+    (T.events_to_jsonl t)
+
+let suite =
+  [
+    Alcotest.test_case "all phases on all nodes" `Quick
+      test_all_phases_all_nodes;
+    Alcotest.test_case "parent links mirror the tree" `Quick
+      test_parent_links_mirror_tree;
+    Alcotest.test_case "durations consistent with the trace" `Quick
+      test_durations_consistent_with_trace;
+    Alcotest.test_case "absent node has no spans" `Quick
+      test_absent_node_has_no_spans;
+    Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+    Alcotest.test_case "chrome trace span times" `Quick
+      test_chrome_trace_span_times_scale;
+    Alcotest.test_case "events JSONL" `Quick test_events_jsonl;
+    Alcotest.test_case "event field mapping" `Quick test_event_to_json_fields;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace_jsonl;
+  ]

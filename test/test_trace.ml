@@ -43,7 +43,31 @@ let test_per_node_counting () =
   let t = sample () in
   Alcotest.(check int) "a sent two flows" 2 (T.node_flows t "a");
   Alcotest.(check int) "b wrote three records" 3 (T.node_writes t "b");
-  Alcotest.(check int) "b forced two" 2 (T.node_writes ~forced_only:true t "b")
+  Alcotest.(check int) "b forced two" 2 (T.node_writes ~forced_only:true t "b");
+  (* the paper counts protocol flows only: per-node data sends are excluded *)
+  T.record t (send ~protocol:false ~time:6.0 "a" "b" "Data:txn-2");
+  Alcotest.(check int) "data sends excluded per node" 2 (T.node_flows t "a")
+
+let test_forced_only_rm_interplay () =
+  let t = sample () in
+  T.record t (log_write ~rm:true ~time:6.0 "b" Wal.Log_record.Rm_update true);
+  (* rm:true records stay excluded even when they were forced *)
+  Alcotest.(check int) "forced TM writes" 3
+    (T.count_log_writes ~forced_only:true t);
+  Alcotest.(check int) "forced including rm" 4
+    (T.count_log_writes ~include_rm:true ~forced_only:true t);
+  Alcotest.(check int) "per-node forced unaffected by rm" 2
+    (T.node_writes ~forced_only:true t "b")
+
+let test_deliver_events_neutral () =
+  (* Deliver events feed the telemetry spans; none of the paper-convention
+     counters may move when they are recorded *)
+  let t = sample () in
+  let flows = T.flows t and writes = T.tm_writes t in
+  T.record t (T.Deliver { time = 1.0; src = "a"; dst = "b"; label = "Prepare" });
+  Alcotest.(check int) "flows unchanged" flows (T.flows t);
+  Alcotest.(check int) "writes unchanged" writes (T.tm_writes t);
+  Alcotest.(check int) "node flows unchanged" 2 (T.node_flows t "a")
 
 let test_completion_time () =
   let t = sample () in
@@ -87,6 +111,23 @@ let test_diagram_unknown_node_ignored () =
   Alcotest.(check bool) "renders without the unknown arrow" true
     (not (contains d "Prepare"))
 
+let test_diagram_from_real_run () =
+  (* end to end: a default three-member commit renders with every member's
+     column and the protocol's message labels *)
+  let tree = Workload.flat ~n:3 () in
+  let _, world = Tpc.Run.commit_tree tree in
+  let nodes = List.map (fun p -> p.Tpc.Types.p_name) (Tpc.Types.tree_members tree) in
+  let d = T.sequence_diagram world.Tpc.Run.trace ~nodes in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " column present") true (contains d n))
+    nodes;
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " arrow present") true (contains d label))
+    [ "Prepare"; "Vote"; "Commit"; "Ack" ];
+  Alcotest.(check bool) "forces marked" true (contains d "*log")
+
 let test_to_string_lines () =
   let t = sample () in
   let lines = String.split_on_char '\n' (T.to_string t) in
@@ -97,6 +138,12 @@ let suite =
     Alcotest.test_case "flow counting" `Quick test_flow_counting;
     Alcotest.test_case "write counting" `Quick test_write_counting;
     Alcotest.test_case "per-node counting" `Quick test_per_node_counting;
+    Alcotest.test_case "forced-only with rm records" `Quick
+      test_forced_only_rm_interplay;
+    Alcotest.test_case "deliver events don't move counters" `Quick
+      test_deliver_events_neutral;
+    Alcotest.test_case "diagram from a real run" `Quick
+      test_diagram_from_real_run;
     Alcotest.test_case "completion time" `Quick test_completion_time;
     Alcotest.test_case "events in order" `Quick test_events_in_order;
     Alcotest.test_case "clear" `Quick test_clear;
