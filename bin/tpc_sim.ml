@@ -7,7 +7,9 @@
      chain     - Table 4 style chained-transaction streams
      group     - group-commit sweep
      crash     - a commit with an injected crash, showing recovery
-     sweep     - concurrent throughput sweep (one JSON line per cell) *)
+     sweep     - concurrent throughput sweep (one JSON line per cell)
+     chaos     - seeded fault-schedule sweep with fault-aware audit and
+                 schedule shrinking (one JSONL verdict per seed) *)
 
 open Cmdliner
 open Tpc.Types
@@ -513,6 +515,50 @@ let point_conv =
   in
   Arg.conv (parse, print)
 
+(* Post-run recovery validation: when the crashed node restarts, recovery
+   must fully resolve the transaction - no member may stay in doubt, no
+   member's data may contradict the root's reported outcome, and the logs
+   must not carry both commit and abort evidence.  Violations exit 1 so
+   scripts and CI can gate on `tpc_sim crash`. *)
+let check_crash_recovery ~restarted (world : Tpc.Run.world) =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if restarted then
+    List.iter
+      (fun (name, (n : Tpc.Run.node)) ->
+        if Tpc.Net.is_up world.Tpc.Run.net name then begin
+          (match Kvstore.in_doubt n.Tpc.Run.kv with
+          | [] -> ()
+          | txns ->
+              fail "%s: still in doubt after recovery (%s)" name
+                (String.concat ", " txns));
+          match Tpc.Participant.in_doubt_txns n.Tpc.Run.participant with
+          | [] -> ()
+          | txns ->
+              fail "%s: protocol state still blocked (%s)" name
+                (String.concat ", " txns)
+        end)
+      world.Tpc.Run.nodes;
+  (match world.Tpc.Run.outcome with
+  | Some o when restarted ->
+      if not (Tpc.Run.consistent world ~txn:"txn-1" ~outcome:o) then
+        fail "member state contradicts the root's %s report"
+          (outcome_to_string o)
+  | Some _ | None -> ());
+  let has kind =
+    List.exists
+      (fun wal ->
+        List.exists
+          (fun (r : Wal.Log_record.t) -> r.kind = kind)
+          (Wal.Log.all_records wal))
+      (Tpc.Run.all_wals world)
+  in
+  let commit_ev = has Wal.Log_record.Committed || has Wal.Log_record.Rm_committed in
+  let abort_ev = has Wal.Log_record.Aborted || has Wal.Log_record.Rm_aborted in
+  if commit_ev && abort_ev then
+    fail "divergence: both commit and abort evidence in the logs";
+  !failures
+
 let crash_cmd protocol node point restart trace_out events_out =
   if not (List.mem node [ "coord"; "c1"; "c2" ]) then (
     Printf.eprintf
@@ -527,7 +573,13 @@ let crash_cmd protocol node point restart trace_out events_out =
   let metrics, world = Tpc.Run.commit_tree ~config tree in
   Format.printf "%a@.@.%s@." Tpc.Metrics.pp metrics
     (Tpc.Trace.to_string world.Tpc.Run.trace);
-  write_telemetry ~tree world trace_out events_out
+  write_telemetry ~tree world trace_out events_out;
+  match check_crash_recovery ~restarted:(restart <> None) world with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "tpc_sim crash: BAD RECOVERY: %s\n")
+        (List.rev failures);
+      exit 1
 
 let crash_term =
   let node =
@@ -547,6 +599,180 @@ let crash_term =
   Term.(
     const crash_cmd $ protocol_arg $ node $ point $ restart $ trace_out_arg
     $ events_arg)
+
+(* --- chaos ------------------------------------------------------------------ *)
+
+let protocol_flag = function
+  | Basic -> "basic"
+  | Presumed_abort -> "pa"
+  | Presumed_nothing -> "pn"
+
+let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
+    partitions drops jitters horizon plan_str broken no_shrink out =
+  if n < 2 then (
+    Printf.eprintf "tpc_sim chaos: -n must be at least 2\n";
+    exit 2);
+  if seeds < 1 then (
+    Printf.eprintf "tpc_sim chaos: --seeds must be at least 1\n";
+    exit 2);
+  let opts = build_opts opt_names in
+  let config =
+    default_config |> with_protocol protocol |> with_opts_record opts
+    |> with_retries ~interval:25.0 ~max:8
+    |> with_prepare_retries 2 |> with_retry_backoff 2.0
+  in
+  let cfg seed = { Tpc.Mixer.default_cfg with txns; concurrency; seed } in
+  let tree = Workload.mixer_tree ~n ~opts:(opts_to_list opts) () in
+  let nodes = Faultlab.tree_nodes tree in
+  let horizon =
+    if horizon > 0.0 then horizon
+    else
+      (* cover the arrival window: faults beyond it hit a drained complex *)
+      float_of_int txns
+      *. Tpc.Mixer.default_cfg.Tpc.Mixer.base_interarrival
+      /. float_of_int concurrency
+  in
+  let gen_cfg =
+    { Faultlab.default_gen with crashes; partitions; drops; jitters; horizon }
+  in
+  let fixed_plan =
+    match plan_str with
+    | Some s -> (
+        try Some (Faultlab.of_string s)
+        with Invalid_argument msg ->
+          Printf.eprintf "tpc_sim chaos: %s\n" msg;
+          exit 2)
+    | None -> None
+  in
+  let out_chan = match out with Some path -> open_out path | None -> stdout in
+  let violations = ref 0 in
+  for seed = seed0 to seed0 + seeds - 1 do
+    let plan =
+      match fixed_plan with
+      | Some p -> p
+      | None -> Faultlab.gen ~seed ~nodes gen_cfg
+    in
+    let agg, v =
+      Faultlab.run_case ~config ~broken_recovery:broken (cfg seed) tree plan
+    in
+    let violated = not (Faultlab.ok v) in
+    let minimized =
+      if violated && not no_shrink then begin
+        let check p =
+          let _, v' =
+            Faultlab.run_case ~config ~broken_recovery:broken (cfg seed) tree p
+          in
+          not (Faultlab.ok v')
+        in
+        let small = Faultlab.shrink ~check plan in
+        Printf.eprintf
+          "tpc_sim chaos: seed %d VIOLATION; minimized to %d event(s); replay \
+           with:\n\
+          \  tpc_sim chaos -p %s -n %d --seed %d --seeds 1 --txns %d -c %d%s \
+           --plan '%s'\n"
+          seed (List.length small) (protocol_flag protocol) n seed txns
+          concurrency
+          (if broken then " --broken-recovery" else "")
+          (Faultlab.to_string small);
+        Some small
+      end
+      else None
+    in
+    if violated then incr violations;
+    let line =
+      Tpc.Json.Obj
+        ([
+           ("seed", Tpc.Json.Int seed);
+           ("protocol", Tpc.Json.String (protocol_flag protocol));
+           ("plan", Tpc.Json.String (Faultlab.to_string plan));
+           ("ok", Tpc.Json.Bool (not violated));
+           ("committed", Tpc.Json.Int agg.Tpc.Metrics.Agg.committed);
+           ("aborted", Tpc.Json.Int agg.Tpc.Metrics.Agg.aborted);
+         ]
+        @ List.map
+            (fun (k, c) -> (k, Tpc.Json.Int c))
+            (Faultlab.verdict_fields v)
+        @
+        match minimized with
+        | Some small ->
+            [ ("minimized", Tpc.Json.String (Faultlab.to_string small)) ]
+        | None -> [])
+    in
+    output_string out_chan (Tpc.Json.to_string line ^ "\n");
+    flush out_chan
+  done;
+  if out <> None then close_out out_chan;
+  Printf.eprintf "tpc_sim chaos: %d/%d seeds clean (%s, n=%d, txns=%d, c=%d)\n"
+    (seeds - !violations) seeds (protocol_flag protocol) n txns concurrency;
+  if !violations > 0 then exit 1
+
+let chaos_term =
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to sweep.")
+  in
+  let txns =
+    Arg.(value & opt int 150 & info [ "txns" ] ~doc:"Transactions per seed.")
+  in
+  let concurrency =
+    Arg.(value & opt int 8 & info [ "c"; "concurrency" ] ~doc:"Concurrency level.")
+  in
+  let crashes =
+    Arg.(value & opt int 2 & info [ "crashes" ] ~doc:"Crash events per plan.")
+  in
+  let partitions =
+    Arg.(
+      value & opt int 1 & info [ "partitions" ] ~doc:"Partition events per plan.")
+  in
+  let drops =
+    Arg.(
+      value & opt int 3
+      & info [ "drops" ] ~doc:"Nth-message drop events per plan.")
+  in
+  let jitters =
+    Arg.(
+      value & opt int 2
+      & info [ "jitters" ] ~doc:"Per-link delay-jitter events per plan.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 0.0
+      & info [ "horizon" ]
+          ~doc:
+            "Fault-schedule horizon (virtual time); 0 = cover the arrival \
+             window.")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ]
+          ~doc:
+            "Replay this exact fault plan (the compact form printed in \
+             verdicts) instead of generating one per seed.")
+  in
+  let broken =
+    Arg.(
+      value & flag
+      & info [ "broken-recovery" ]
+          ~doc:
+            "Substitute the deliberately broken amnesia restart for every \
+             recovery: the audit must catch it (self-test of the harness).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Skip schedule shrinking on violation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write JSONL verdicts here instead of stdout.")
+  in
+  Term.(
+    const chaos_cmd $ protocol_arg $ opts_arg $ n_arg $ seeds $ seed_arg $ txns
+    $ concurrency $ crashes $ partitions $ drops $ jitters $ horizon $ plan
+    $ broken $ no_shrink $ out)
 
 (* --- command tree ------------------------------------------------------------- *)
 
@@ -576,4 +802,8 @@ let () =
             cmd "stats" stats_term
               "Sim-kernel profiling: run one mixer cell and report engine \
                statistics.";
+            cmd "chaos" chaos_term
+              "Seeded fault-schedule sweep: crashes, partitions, drops and \
+               jitter against the concurrent mixer, fault-aware audit per \
+               seed (JSONL), greedy schedule shrinking on violation.";
           ]))

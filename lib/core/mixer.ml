@@ -54,6 +54,19 @@ type txn_rec = {
   mutable x_wait_time : float;
 }
 
+(* What the driver knew about one transaction when the run went quiet:
+   enough for a fault-aware audit to reconstruct ground truth without
+   reaching back into the mixer's internal bookkeeping. *)
+type txn_summary = {
+  ts_txn : string;
+  ts_items : item list;
+  ts_outcome : outcome option;
+      (** what the root reported to the driver; [None] = never reported
+          (possible when faults killed the coordinator) *)
+  ts_commit_started : bool;
+  ts_timed_out : bool;
+}
+
 let txn_value txn = "v:" ^ txn
 let value_owner v =
   if String.length v > 2 && String.sub v 0 2 = "v:" then
@@ -74,74 +87,136 @@ let node_has_work x name =
 
 (* Atomicity/consistency are checked at quiescence rather than per
    completion: with vote-reliable implied acks or early acks the root can
-   report a commit before subordinates have applied it. *)
-let consistency_violations w records =
-  let violations = ref 0 in
-  (* one pass over each physical log builds the (rm, txn) commit index;
+   report a commit before subordinates have applied it.
+
+   The audit is fault-aware.  Under injected crashes and partitions the
+   driver's view ([ts_outcome]) is not ground truth: the coordinator may
+   have made a decision durable and died before reporting it.  Ground
+   truth is therefore derived from the durable evidence (any TM [Committed]
+   or RM [Rm_committed] record commits the transaction; no such record
+   anywhere means it aborted or never decided), and a member is excused
+   from the committed-everywhere obligation only while it is {e down} or
+   legitimately {e in doubt} - never merely slow, because the audit runs at
+   engine quiescence. *)
+module Audit = struct
+  type breakdown = {
+    committed_missing : int;
+        (** committed txn not applied at an up, not-in-doubt updated member *)
+    aborted_applied : int;
+        (** abort/undecided txn durably applied, or its value visible *)
+    bad_value : int;
+        (** a committed binding not owned by a committed writer of that key *)
+  }
+
+  let total b = b.committed_missing + b.aborted_applied + b.bad_value
+
+  (* one pass over each physical log builds the commit-evidence indexes;
      scanning per transaction would be quadratic in the run length *)
-  let rm_commits = Hashtbl.create 1024 in
-  List.iter
-    (fun wal ->
-      List.iter
-        (fun (r : Wal.Log_record.t) ->
-          if r.kind = Wal.Log_record.Rm_committed then
-            Hashtbl.replace rm_commits (r.node, r.txn) ())
-        (Wal.Log.all_records wal))
-    (Run.all_wals w);
-  let rm_committed n txn =
-    Hashtbl.mem rm_commits ((n : Run.node).Run.profile.p_name ^ ".rm", txn)
-  in
-  List.iter
-    (fun x ->
-      List.iter
-        (fun it ->
-          match it.it_op with
-          | Op_read _ -> ()
-          | Op_update { key } -> (
-              let n = Run.node w it.it_node in
-              match x.x_outcome with
-              | Some Committed ->
-                  (* every member the txn updated must have applied it *)
-                  if not (rm_committed n x.x_txn) then incr violations
-              | Some Aborted | None ->
-                  (* no member may have applied any part of it *)
-                  if rm_committed n x.x_txn then incr violations;
-                  if Kvstore.committed_value n.Run.kv key = Some (txn_value x.x_txn)
-                  then incr violations))
-        x.x_items)
-    records;
-  (* every committed binding must belong to a committed transaction that
-     actually wrote it there *)
-  let by_txn = Hashtbl.create 64 in
-  List.iter (fun x -> Hashtbl.replace by_txn x.x_txn x) records;
-  List.iter
-    (fun (name, n) ->
-      List.iter
-        (fun (key, v) ->
-          match value_owner v with
-          | None -> ()  (* pre-loaded or foreign value *)
-          | Some owner -> (
-              match Hashtbl.find_opt by_txn owner with
-              | Some x
-                when x.x_outcome = Some Committed
-                     && List.exists
-                          (fun it ->
-                            it.it_node = name
-                            && match it.it_op with
-                               | Op_update { key = k } -> k = key
-                               | Op_read _ -> false)
-                          x.x_items ->
-                  ()
-              | _ -> incr violations))
-        (Kvstore.committed_bindings n.Run.kv))
-    w.Run.nodes;
-  !violations
+  let commit_evidence w =
+    let rm_commits = Hashtbl.create 1024 in
+    let decided_commit = Hashtbl.create 256 in
+    List.iter
+      (fun wal ->
+        List.iter
+          (fun (r : Wal.Log_record.t) ->
+            match r.kind with
+            | Wal.Log_record.Rm_committed ->
+                Hashtbl.replace rm_commits (r.node, r.txn) ();
+                Hashtbl.replace decided_commit r.txn ()
+            | Wal.Log_record.Committed | Wal.Log_record.Heuristic_commit ->
+                Hashtbl.replace decided_commit r.txn ()
+            | _ -> ())
+          (Wal.Log.all_records wal))
+      (Run.all_wals w);
+    (rm_commits, decided_commit)
+
+  (* A member is excused from having applied an outcome while the
+     transaction is in doubt there: blocked awaiting its coordinator
+     (live state), rebuilt in-doubt by crash recovery (KV state), or
+     awaiting a delegated decision. *)
+  let in_doubt_at (n : Run.node) txn =
+    List.mem txn (Kvstore.in_doubt n.Run.kv)
+    || List.mem txn (Participant.in_doubt_txns n.Run.participant)
+
+  let breakdown w summaries =
+    let rm_commits, decided_commit = commit_evidence w in
+    let rm_committed (n : Run.node) txn =
+      Hashtbl.mem rm_commits (n.Run.profile.p_name ^ ".rm", txn)
+    in
+    let truth x =
+      match x.ts_outcome with
+      | Some o -> Some o
+      | None ->
+          (* unreported: the durable record is the decision *)
+          if Hashtbl.mem decided_commit x.ts_txn then Some Committed else None
+    in
+    let committed_missing = ref 0 in
+    let aborted_applied = ref 0 in
+    let bad_value = ref 0 in
+    List.iter
+      (fun x ->
+        let tr = truth x in
+        List.iter
+          (fun it ->
+            match it.it_op with
+            | Op_read _ -> ()
+            | Op_update { key } -> (
+                let n = Run.node w it.it_node in
+                match tr with
+                | Some Committed ->
+                    (* every member the txn updated must have applied it,
+                       unless it is down or still legitimately blocked *)
+                    if
+                      (not (rm_committed n x.ts_txn))
+                      && Net.is_up w.Run.net it.it_node
+                      && not (in_doubt_at n x.ts_txn)
+                    then incr committed_missing
+                | Some Aborted | None ->
+                    (* no member may have applied any part of it *)
+                    if rm_committed n x.ts_txn then incr aborted_applied;
+                    if
+                      Kvstore.committed_value n.Run.kv key
+                      = Some (txn_value x.ts_txn)
+                    then incr aborted_applied))
+          x.ts_items)
+      summaries;
+    (* every committed binding must belong to a committed transaction that
+       actually wrote it there *)
+    let by_txn = Hashtbl.create 64 in
+    List.iter (fun x -> Hashtbl.replace by_txn x.ts_txn x) summaries;
+    List.iter
+      (fun (name, n) ->
+        List.iter
+          (fun (key, v) ->
+            match value_owner v with
+            | None -> ()  (* pre-loaded or foreign value *)
+            | Some owner -> (
+                match Hashtbl.find_opt by_txn owner with
+                | Some x
+                  when truth x = Some Committed
+                       && List.exists
+                            (fun it ->
+                              it.it_node = name
+                              && match it.it_op with
+                                 | Op_update { key = k } -> k = key
+                                 | Op_read _ -> false)
+                            x.ts_items ->
+                    ()
+                | _ -> incr bad_value))
+          (Kvstore.committed_bindings n.Run.kv))
+      w.Run.nodes;
+    {
+      committed_missing = !committed_missing;
+      aborted_applied = !aborted_applied;
+      bad_value = !bad_value;
+    }
+end
 
 (* ------------------------------------------------------------------ *)
 (* The engine                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(config = default_config) cfg tree =
+let run_full ?(config = default_config) ?inject cfg tree =
   if cfg.txns <= 0 then invalid_arg "Mixer.run: txns must be positive";
   let w = Run.setup ~config tree in
   let engine = w.Run.engine in
@@ -261,19 +336,72 @@ let run ?(config = default_config) cfg tree =
                    Participant.begin_unsolicited n.Run.participant ~txn:x.x_txn)))
         w.Run.nodes
   in
-  (* -- abort before commit: lock-wait timeout ---------------------- *)
+  (* -- abort before commit: lock-wait timeout or node crash -------- *)
   let release_everywhere x =
     List.iter
-      (fun it -> Kvstore.abort (Run.kv w it.it_node) ~txn:x.x_txn (fun () -> ()))
+      (fun it ->
+        (* a down member has no volatile state to release (its lock table
+           died with it); sending it work would only pollute its log *)
+        if Net.is_up w.Run.net it.it_node then
+          Kvstore.abort (Run.kv w it.it_node) ~txn:x.x_txn (fun () -> ()))
       x.x_items
   in
-  let lock_timeout x () =
+  (* Fail a transaction that has not yet entered the commit protocol:
+     lock-wait timeout, a needed member crashing under it, or a dead
+     coordinator.  Transactions already inside 2PC are the protocol's
+     problem, not the driver's. *)
+  let fail_txn x =
     if x.x_commit_started = None && x.x_completed = None then begin
+      (match x.x_timer with
+      | Some ev ->
+          E.cancel engine ev;
+          x.x_timer <- None
+      | None -> ());
       x.x_timed_out <- true;
       release_everywhere x;
       finish x Aborted
     end
   in
+  let lock_timeout x () = fail_txn x in
+  (* Branch abandonment (fault runs only): a member that entered a commit's
+     write phase but was never asked to vote - its coordinator died or was
+     cut off before Prepare reached it - would hold its locks forever,
+     because no protocol state exists there to drive a resolution.  Before
+     voting an RM is free to abort unilaterally (Section 2), so a watchdog
+     reaps such branches: still up, not blocked in any protocol state, yet
+     still holding work for the transaction.  A member that voted is in
+     doubt (or otherwise unresolved) and is deliberately left alone. *)
+  let reap x () =
+    List.iter
+      (fun it ->
+        let name = it.it_node in
+        if Net.is_up w.Run.net name then begin
+          let n = Run.node w name in
+          let kv = n.Run.kv in
+          let blocked =
+            List.mem x.x_txn (Kvstore.in_doubt kv)
+            || List.mem_assoc x.x_txn
+                 (Participant.unresolved_txns n.Run.participant)
+          in
+          let holding =
+            Kvstore.is_updated kv ~txn:x.x_txn
+            || List.mem x.x_txn (Lockmgr.holding_txns (Kvstore.locks kv))
+          in
+          if (not blocked) && holding then
+            Kvstore.abandon kv ~txn:x.x_txn (fun () -> ())
+        end)
+      x.x_items
+  in
+  (* A crash fails every pre-commit transaction that touched (or was about
+     to touch) the dead node: its write set and lock grants are gone, so
+     letting the commit proceed would silently lose the update. *)
+  List.iter
+    (fun (name, n) ->
+      Participant.set_on_crash n.Run.participant (fun () ->
+          Hashtbl.iter
+            (fun _ x -> if node_has_work x name then fail_txn x)
+            records))
+    w.Run.nodes;
   (* -- commit ------------------------------------------------------ *)
   let start_commit x =
     (match x.x_timer with
@@ -282,10 +410,17 @@ let run ?(config = default_config) cfg tree =
         x.x_timer <- None
     | None -> ());
     if not x.x_timed_out then begin
-      x.x_commit_started <- Some (E.now engine);
-      mark_idle x;
-      trigger_unsolicited x;
-      Participant.begin_commit (Run.participant w w.Run.root) ~txn:x.x_txn
+      if Participant.is_crashed (Run.participant w w.Run.root) then
+        (* nobody is alive to coordinate *)
+        fail_txn x
+      else begin
+        x.x_commit_started <- Some (E.now engine);
+        mark_idle x;
+        trigger_unsolicited x;
+        Participant.begin_commit (Run.participant w w.Run.root) ~txn:x.x_txn;
+        if inject <> None then
+          ignore (E.schedule engine ~delay:cfg.lock_timeout (reap x))
+      end
     end
   in
   (* -- lock acquisition, one item at a time in tree order ---------- *)
@@ -293,27 +428,33 @@ let run ?(config = default_config) cfg tree =
     match items with
     | [] -> start_commit x
     | { it_node; it_op } :: rest ->
-        let kv = Run.kv w it_node in
-        let requested = E.now engine in
-        let after_grant () =
-          let waited = E.now engine -. requested in
-          if waited > 1e-9 then begin
-            x.x_waits <- x.x_waits + 1;
-            x.x_wait_time <- x.x_wait_time +. waited;
-            Obs.Histogram.record h_wait waited
-          end;
-          if x.x_timed_out then
-            (* granted after we gave up: let it go again *)
-            Kvstore.abort kv ~txn:x.x_txn (fun () -> ())
-          else acquire x rest
-        in
-        (match it_op with
-        | Op_update { key } ->
-            Kvstore.put_async kv ~txn:x.x_txn ~key ~value:(txn_value x.x_txn)
-              ~granted:after_grant
-        | Op_read { key } ->
-            Kvstore.get_async kv ~txn:x.x_txn ~key ~granted:(fun _ ->
-                after_grant ()))
+        if not (Net.is_up w.Run.net it_node) then
+          (* the member is down right now: fail fast rather than doing work
+             a restart would silently forget *)
+          fail_txn x
+        else begin
+          let kv = Run.kv w it_node in
+          let requested = E.now engine in
+          let after_grant () =
+            let waited = E.now engine -. requested in
+            if waited > 1e-9 then begin
+              x.x_waits <- x.x_waits + 1;
+              x.x_wait_time <- x.x_wait_time +. waited;
+              Obs.Histogram.record h_wait waited
+            end;
+            if x.x_timed_out then
+              (* granted after we gave up: let it go again *)
+              Kvstore.abort kv ~txn:x.x_txn (fun () -> ())
+            else acquire x rest
+          in
+          match it_op with
+          | Op_update { key } ->
+              Kvstore.put_async kv ~txn:x.x_txn ~key ~value:(txn_value x.x_txn)
+                ~granted:after_grant
+          | Op_read { key } ->
+              Kvstore.get_async kv ~txn:x.x_txn ~key ~granted:(fun _ ->
+                  after_grant ())
+        end
   in
   (* -- arrivals ---------------------------------------------------- *)
   let arrive i () =
@@ -350,9 +491,24 @@ let run ?(config = default_config) cfg tree =
     ignore (E.schedule engine ~delay:!at (arrive i));
     at := !at +. Simkernel.Det_rng.exponential rng ~mean
   done;
+  (* the fault plan (if any) schedules its crashes, partitions, drops and
+     jitter activations onto the same engine before anything runs *)
+  (match inject with Some f -> f w | None -> ());
   E.run engine;
   (* -- aggregate --------------------------------------------------- *)
   let all = List.rev_map (Hashtbl.find records) !order in
+  let summaries =
+    List.map
+      (fun x ->
+        {
+          ts_txn = x.x_txn;
+          ts_items = x.x_items;
+          ts_outcome = x.x_outcome;
+          ts_commit_started = x.x_commit_started <> None;
+          ts_timed_out = x.x_timed_out;
+        })
+      all
+  in
   let committed_recs =
     List.filter (fun x -> x.x_outcome = Some Committed) all
   in
@@ -441,8 +597,12 @@ let run ?(config = default_config) cfg tree =
       tm_forced = Trace.tm_forced_writes w.Run.trace;
       force_ios;
       force_ios_per_commit = ratio (float_of_int force_ios) committed;
-      consistency_violations = consistency_violations w all;
+      consistency_violations = Audit.total (Audit.breakdown w summaries);
       phase_latency;
     }
   in
+  (agg, w, summaries)
+
+let run ?config cfg tree =
+  let agg, w, _ = run_full ?config cfg tree in
   (agg, w)

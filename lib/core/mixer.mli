@@ -34,6 +34,54 @@ val default_cfg : cfg
 (** concurrency 1, 100 txns, keyspace 8, 60% update / 25% read,
     base inter-arrival 30.0, lock timeout 120.0, seed 1. *)
 
+(** The driver's view of one transaction at quiescence, for external
+    audits (the chaos harness's fault-aware acceptance check). *)
+type txn_summary = {
+  ts_txn : string;
+  ts_items : item list;
+  ts_outcome : Types.outcome option;
+      (** what the root reported; [None] when faults silenced it *)
+  ts_commit_started : bool;
+  ts_timed_out : bool;
+}
+
+val txn_value : string -> string
+(** The value transaction [txn] writes under every key it updates. *)
+
+val value_owner : string -> string option
+(** Inverse of {!txn_value}: which transaction wrote this value. *)
+
+(** Fault-aware end-of-run atomicity/consistency audit.  Ground truth per
+    transaction is the root's report when present, else the durable commit
+    evidence in the logs; a member is excused from the committed-everywhere
+    obligation only while down or legitimately in doubt.  On a fault-free
+    run this reduces exactly to the strict audit the mixer always ran. *)
+module Audit : sig
+  type breakdown = {
+    committed_missing : int;
+        (** committed txn not applied at an up, not-in-doubt updated member *)
+    aborted_applied : int;
+        (** aborted/undecided txn durably applied, or its value visible *)
+    bad_value : int;
+        (** committed binding not owned by a committed writer of that key *)
+  }
+
+  val total : breakdown -> int
+  val breakdown : Run.world -> txn_summary list -> breakdown
+end
+
+val run_full :
+  ?config:Types.config ->
+  ?inject:(Run.world -> unit) ->
+  cfg ->
+  Types.tree ->
+  Metrics.Agg.t * Run.world * txn_summary list
+(** Like {!run}, additionally returning per-transaction summaries for
+    external audits.  [inject] runs after the world is built and every
+    arrival is scheduled, but before the engine starts: a fault plan uses
+    it to schedule crashes, partitions, message drops and jitter onto the
+    same virtual clock. *)
+
 val run :
   ?config:Types.config -> cfg -> Types.tree -> Metrics.Agg.t * Run.world
 (** Submit [cfg.txns] transactions against a fresh world built from [tree]

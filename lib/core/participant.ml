@@ -27,6 +27,8 @@ type child = {
   mutable ch_implied_ack : bool;
       (* the child declared its acknowledgment implied (reliable leaf) *)
   mutable ch_acked : bool;
+  mutable ch_presumed_no : bool;
+      (* vote timeout presumed NO: the member never actually said NO *)
   mutable ch_last_agent : bool;
   mutable ch_pending : bool;  (* wait-for-outcome: resolution in background *)
   mutable ch_retries : int;
@@ -45,6 +47,7 @@ type txn_state = {
   mutable decision_durable : bool;
   mutable long_locks_requested : bool;
   mutable sent_vote_reliable : bool; (* we voted YES+reliable: elide our ack *)
+  mutable sent_vote : vote option;   (* the vote we sent up, for duplicate-Prepare re-sends *)
   mutable acked_up : bool;
   mutable damage : Msg.damage_report list;
   mutable pending : bool;
@@ -52,6 +55,7 @@ type txn_state = {
   mutable vote_timer : Simkernel.Engine.event option;
   mutable heuristic_timer : Simkernel.Engine.event option;
   mutable indoubt_timer : Simkernel.Engine.event option;
+  mutable delegation_timer : Simkernel.Engine.event option;
   mutable awaiting_implied_ack : bool; (* END deferred until next-txn data *)
   mutable logged_tm : bool;
       (* this node wrote a TM record for the txn: answers "does END have
@@ -87,6 +91,8 @@ type t = {
   mutable crashed : bool;
   mutable epoch : int;
   mutable on_root_complete : (txn:string -> outcome -> pending:bool -> unit) option;
+  mutable on_crash : (unit -> unit) option;
+      (* workload-driver hook fired after volatile state is wiped *)
   mutable registry : Obs.Registry.t option;
       (* telemetry sink for per-phase residence times; [None] = no recording *)
   suspended_children : (string, unit) Hashtbl.t;
@@ -122,6 +128,7 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     crashed = false;
     epoch = 0;
     on_root_complete = None;
+    on_crash = None;
     registry = None;
     suspended_children = Hashtbl.create 4;
     idle_children = Hashtbl.create 4;
@@ -133,6 +140,7 @@ let kv t = t.kv
 let log t = t.log
 let is_crashed t = t.crashed
 let set_on_root_complete t f = t.on_root_complete <- Some f
+let set_on_crash t f = t.on_crash <- Some f
 let set_registry t reg = t.registry <- Some reg
 
 (* The workload driver declares, per transaction, which immediate children
@@ -163,6 +171,13 @@ let cancel_timer t ev_opt =
   match ev_opt with
   | Some ev -> Simkernel.Engine.cancel t.engine ev
   | None -> ()
+
+(* Retransmission period for the [attempt]-th retry: exponential backoff by
+   [retry_backoff], capped at 64x so a misconfigured multiplier cannot push
+   the next attempt past any reasonable horizon.  The default multiplier of
+   1.0 reproduces the classic fixed-period schedule exactly. *)
+let retry_delay (t : t) attempt =
+  t.cfg.retry_interval *. (t.cfg.retry_backoff ** float_of_int (min attempt 6))
 
 let trace t ev = Trace.record t.trace ev
 
@@ -264,7 +279,8 @@ let rec crash t =
   Hashtbl.reset t.suspended_children;
   Hashtbl.reset t.idle_children;
   (* undelivered piggybacked acks died with the sessions *)
-  t.deferred <- []
+  t.deferred <- [];
+  match t.on_crash with Some f -> f () | None -> ()
 
 (* [maybe_crash] returns true when the fault fired: the caller must stop. *)
 and maybe_crash t point =
@@ -300,6 +316,7 @@ and new_txn_state t txn =
       decision_durable = false;
       long_locks_requested = false;
       sent_vote_reliable = false;
+      sent_vote = None;
       acked_up = false;
       damage = [];
       pending = false;
@@ -307,6 +324,7 @@ and new_txn_state t txn =
       vote_timer = None;
       heuristic_timer = None;
       indoubt_timer = None;
+      delegation_timer = None;
       awaiting_implied_ack = false;
       logged_tm = false;
     }
@@ -346,6 +364,7 @@ and participating_children t ~txn =
             ch_vote = None;
             ch_implied_ack = false;
             ch_acked = false;
+            ch_presumed_no = false;
             ch_last_agent = false;
             ch_pending = false;
             ch_retries = 0;
@@ -405,26 +424,62 @@ and start_phase1 t st =
   start_vote_timer t st;
   local_prepare t st
 
-and start_vote_timer t st =
+and start_vote_timer ?(attempt = 0) t st =
   st.vote_timer <-
     Some
-      (sched t ~delay:t.cfg.retry_interval (fun () ->
-           if st.phase = Ph_voting then begin
-             (* missing votes are treated as NO *)
-             trace t
-               (Trace.Note
-                  {
-                    time = now t;
-                    node = t.name;
-                    text = "vote timeout: presuming NO from silent members";
-                  });
-             List.iter
-               (fun ch ->
-                 if ch.ch_vote = None && not ch.ch_last_agent then
-                   ch.ch_vote <- Some Vote_no)
-               st.children;
-             maybe_all_votes_in t st
-           end))
+      (sched t ~delay:(retry_delay t attempt) (fun () ->
+           if st.phase = Ph_voting then
+             if attempt < t.cfg.prepare_retries then begin
+               (* re-send Prepare to the silent voters before giving up: a
+                  lost Prepare (or lost vote) need not abort the transaction
+                  when the configuration allows retransmission *)
+               trace t
+                 (Trace.Note
+                    {
+                      time = now t;
+                      node = t.name;
+                      text = "vote timeout: re-sending Prepare to silent members";
+                    });
+               List.iter
+                 (fun ch ->
+                   if
+                     ch.ch_vote = None
+                     && (not ch.ch_last_agent)
+                     && not
+                          (t.cfg.opts.unsolicited_vote
+                          && ch.ch_profile.p_unsolicited)
+                   then
+                     send t ~dst:ch.ch_profile.p_name
+                       [
+                         Msg.Prepare
+                           {
+                             txn = st.txn;
+                             long_locks =
+                               t.cfg.opts.long_locks
+                               && ch.ch_profile.p_long_locks;
+                           };
+                       ])
+                 st.children;
+               start_vote_timer ~attempt:(attempt + 1) t st
+             end
+             else begin
+               (* missing votes are treated as NO *)
+               trace t
+                 (Trace.Note
+                    {
+                      time = now t;
+                      node = t.name;
+                      text = "vote timeout: presuming NO from silent members";
+                    });
+               List.iter
+                 (fun ch ->
+                   if ch.ch_vote = None && not ch.ch_last_agent then begin
+                     ch.ch_vote <- Some Vote_no;
+                     ch.ch_presumed_no <- true
+                   end)
+                 st.children;
+               maybe_all_votes_in t st
+             end))
 
 (* The local resource manager's vote.  The RM's own records are non-forced:
    their durability rides on the TM's forced Prepared/Committed record in
@@ -546,6 +601,29 @@ and on_all_yes t st =
       (* we are a last agent that received the delegation: we decide *)
       decide t st Committed
 
+(* A lost delegation message (or a lost decision report from the agent)
+   would otherwise stall the delegator forever: it is not in doubt in the
+   RM sense, just waiting.  Re-send the delegation until the agent's
+   decision arrives; the agent side is idempotent (a duplicate delegation
+   for an ended transaction repeats the outcome). *)
+and start_delegation_timer ?(attempt = 0) t st send_delegation =
+  if attempt < t.cfg.max_retries then
+    st.delegation_timer <-
+      Some
+        (sched t ~delay:(retry_delay t attempt) (fun () ->
+             if st.phase = Ph_delegated then begin
+               trace t
+                 (Trace.Note
+                    {
+                      time = now t;
+                      node = t.name;
+                      text = "delegation unanswered: re-sending to last agent";
+                    });
+               send_delegation ();
+               start_delegation_timer ~attempt:(attempt + 1) t st
+                 send_delegation
+             end))
+
 and delegate_to_last_agent t st agent =
   let proceed () =
     set_phase t st Ph_delegated;
@@ -561,17 +639,21 @@ and delegate_to_last_agent t st agent =
              | _ -> false)
            st.children
     in
-    send t ~dst:agent.ch_profile.p_name
-      [
-        Msg.Vote_msg
-          {
-            txn = st.txn;
-            vote = Vote_yes { reliable; leave_out_ok = false };
-            delegation = true;
-            unsolicited = false;
-            implied_ack = false;
-          };
-      ]
+    let send_delegation () =
+      send t ~dst:agent.ch_profile.p_name
+        [
+          Msg.Vote_msg
+            {
+              txn = st.txn;
+              vote = Vote_yes { reliable; leave_out_ok = false };
+              delegation = true;
+              unsolicited = false;
+              implied_ack = false;
+            };
+        ]
+    in
+    send_delegation ();
+    start_delegation_timer t st send_delegation
   in
   (* The delegating node must be durably prepared before giving the decision
      away.  PN already forced commit-pending, which (with the buffered RM
@@ -615,6 +697,7 @@ and vote_yes_up t st parent =
     else begin
       set_phase t st Ph_in_doubt;
       st.sent_vote_reliable <- elide_ack;
+      st.sent_vote <- Some (Vote_yes { reliable; leave_out_ok });
       send t ~dst:parent
         [
           Msg.Vote_msg
@@ -658,6 +741,7 @@ and begin_unsolicited t ~txn =
               st.sent_vote_reliable <- elide_ack;
               st.local_vote <-
                 Some (Vote_yes { reliable = t.profile.p_reliable; leave_out_ok = false });
+              st.sent_vote <- st.local_vote;
               send t ~dst:parent
                 [
                   Msg.Vote_msg
@@ -758,6 +842,14 @@ and propagate_decision t st outcome =
       | Aborted when t.cfg.protocol = Presumed_abort ->
           (* PA: abort acknowledgments are not required *)
           ch.ch_acked <- true
+      | Aborted
+        when (ch.ch_vote = None || ch.ch_presumed_no)
+             && t.cfg.protocol = Presumed_nothing ->
+          (* a silent member may be crashed holding a forced prepare whose
+             vote never reached us; PN has no presumption it could fall back
+             on, so the abort must be delivered and acknowledged (PA and
+             Basic members resolve this themselves by inquiring) *)
+          start_ack_retry t st ch
       | Aborted when ch.ch_vote = None || ch.ch_vote = Some Vote_no ->
           (* a member that never voted (or voted NO and forgot) cannot be in
              doubt: the abort notification is fire-and-forget *)
@@ -786,7 +878,7 @@ and propagate_decision t st outcome =
   end
 
 and start_ack_retry t st ch =
-  sched_ t ~delay:t.cfg.retry_interval (fun () -> retry_child t st ch)
+  sched_ t ~delay:(retry_delay t ch.ch_retries) (fun () -> retry_child t st ch)
 
 and retry_child t st ch =
   if (not ch.ch_acked) && st.phase = Ph_propagating then begin
@@ -811,6 +903,28 @@ and retry_child t st ch =
       send t ~dst:ch.ch_profile.p_name
         [ Msg.Decision_msg { txn = st.txn; outcome = Option.get st.outcome } ];
       start_ack_retry t st ch
+    end
+    else if ch.ch_presumed_no && not ch.ch_pending then begin
+      (* retransmissions to a member that never voted are exhausted: it is
+         either gone for good or will abort unilaterally / inquire on
+         restart.  Stop blocking the application; the decision stays durable
+         and the transaction open (no END), so a recovering member can still
+         learn the outcome by inquiry.  Completion carries the pending
+         indication. *)
+      ch.ch_pending <- true;
+      st.pending <- true;
+      trace t
+        (Trace.Note
+           {
+             time = now t;
+             node = t.name;
+             text =
+               Printf.sprintf
+                 "acknowledgment retries exhausted: %s unresolved, decision \
+                  retained"
+                 ch.ch_profile.p_name;
+           });
+      maybe_finished t st
     end
   end
 
@@ -961,6 +1075,7 @@ and end_txn t st outcome =
   cancel_timer t st.vote_timer;
   cancel_timer t st.heuristic_timer;
   cancel_timer t st.indoubt_timer;
+  cancel_timer t st.delegation_timer;
   (* OK-TO-LEAVE-OUT is a protected variable: it takes effect only if the
      transaction commits.  A child whose YES carried the flag is now
      suspended until we next send it work. *)
@@ -1005,40 +1120,49 @@ and arm_heuristic t st delay action =
    PA subordinates inquire (the coordinator may have no memory of the
    transaction); PN subordinates wait for the coordinator to contact them. *)
 and start_indoubt_timer ?(attempt = 0) t st =
-  match t.parent_name with
-  | None -> ()
-  | Some parent ->
-      if attempt > t.cfg.max_retries then
-        trace t
-          (Trace.Note
-             {
-               time = now t;
-               node = t.name;
-               text = "in doubt: recovery attempts exhausted, still blocked";
-             })
-      else
-        st.indoubt_timer <-
-          Some
-            (sched t ~delay:t.cfg.retry_interval (fun () ->
-                 let still_current =
-                   match get_txn t st.txn with
-                   | Some current -> current == st
-                   | None -> false
-                 in
-                 if st.phase = Ph_in_doubt && still_current then begin
-                   (match t.cfg.protocol with
-                   | Presumed_abort | Basic ->
-                       send t ~dst:parent [ Msg.Inquiry { txn = st.txn } ]
-                   | Presumed_nothing ->
-                       trace t
-                         (Trace.Note
-                            {
-                              time = now t;
-                              node = t.name;
-                              text = "in doubt: awaiting coordinator recovery (PN)";
-                            }));
-                   start_indoubt_timer ~attempt:(attempt + 1) t st
-                 end))
+  (* Who can resolve our doubt?  A subordinate asks its parent.  A
+     parentless node that is nevertheless in doubt must have delegated its
+     decision (the only way a root forces Prepared): the outcome lives at a
+     child, so inquire all of them - only positive knowledge resolves. *)
+  let targets =
+    match t.parent_name with
+    | Some parent -> [ parent ]
+    | None -> List.map (fun ch -> ch.ch_profile.p_name) st.children
+  in
+  if targets = [] then ()
+  else if attempt > t.cfg.max_retries then
+    trace t
+      (Trace.Note
+         {
+           time = now t;
+           node = t.name;
+           text = "in doubt: recovery attempts exhausted, still blocked";
+         })
+  else
+    st.indoubt_timer <-
+      Some
+        (sched t ~delay:(retry_delay t attempt) (fun () ->
+             let still_current =
+               match get_txn t st.txn with
+               | Some current -> current == st
+               | None -> false
+             in
+             if st.phase = Ph_in_doubt && still_current then begin
+               (match t.cfg.protocol with
+               | Presumed_abort | Basic ->
+                   List.iter
+                     (fun dst -> send t ~dst [ Msg.Inquiry { txn = st.txn } ])
+                     targets
+               | Presumed_nothing ->
+                   trace t
+                     (Trace.Note
+                        {
+                          time = now t;
+                          node = t.name;
+                          text = "in doubt: awaiting coordinator recovery (PN)";
+                        }));
+               start_indoubt_timer ~attempt:(attempt + 1) t st
+             end))
 
 (* ------------------------------------------------------------------ *)
 (* Message handling                                                    *)
@@ -1117,11 +1241,33 @@ and handle_prepare t ~src ~txn ~long_locks =
         maybe_all_votes_in t st
       end
     end
+    else if st.phase = Ph_in_doubt then begin
+      (* duplicate Prepare from our own coordinator: our YES was lost (or
+         the coordinator is retransmitting); repeat the vote we sent *)
+      match st.sent_vote with
+      | Some vote ->
+          send t ~dst:src
+            [
+              Msg.Vote_msg
+                {
+                  txn;
+                  vote;
+                  delegation = false;
+                  unsolicited = false;
+                  implied_ack = st.sent_vote_reliable;
+                };
+            ]
+      | None -> ()
+    end
   end
 
 and handle_vote t ~src ~txn vote ~delegation ~unsolicited ~implied_ack =
   ignore unsolicited;
   if delegation then handle_delegation t ~src ~txn vote
+  else if Hashtbl.mem t.ended txn then
+    (* a straggling (reordered or retransmitted) vote for a transaction we
+       already finished: do not resurrect state for it *)
+    ()
   else
     let st = get_or_new_txn t txn in
     (match List.find_opt (fun ch -> ch.ch_profile.p_name = src) st.children with
@@ -1140,6 +1286,7 @@ and handle_vote t ~src ~txn vote ~delegation ~unsolicited ~implied_ack =
                 ch_vote = Some vote;
                 ch_implied_ack = implied_ack;
                 ch_acked = false;
+            ch_presumed_no = false;
                 ch_last_agent = false;
                 ch_pending = false;
                 ch_retries = 0;
@@ -1252,6 +1399,8 @@ and resolve_heuristic t st ~action ~outcome =
 
 (* The delegating coordinator hears the outcome from its last agent. *)
 and delegator_decision t st outcome =
+  cancel_timer t st.delegation_timer;
+  st.delegation_timer <- None;
   st.outcome <- Some outcome;
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
   set_phase t st Ph_deciding;
@@ -1362,18 +1511,26 @@ and handle_inquiry_reply t ~txn outcome =
   | None -> ()
   | Some st ->
       if st.phase = Ph_in_doubt then begin
-        let o = match outcome with Some o -> o | None -> Aborted in
-        trace t
-          (Trace.Note
-             {
-               time = now t;
-               node = t.name;
-               text =
-                 (match outcome with
-                 | Some _ -> "recovery: outcome learned by inquiry"
-                 | None -> "recovery: no information - presuming abort");
-             });
-        subordinate_decision t st o
+        match outcome with
+        | None when st.parent = None ->
+            (* we are a recovered delegator inquiring our children: a child
+               with no information cannot absolve us - only the last agent's
+               positive answer (or its own eventual decision) can.  Keep
+               waiting. *)
+            ()
+        | _ ->
+            let o = match outcome with Some o -> o | None -> Aborted in
+            trace t
+              (Trace.Note
+                 {
+                   time = now t;
+                   node = t.name;
+                   text =
+                     (match outcome with
+                     | Some _ -> "recovery: outcome learned by inquiry"
+                     | None -> "recovery: no information - presuming abort");
+                 });
+            subordinate_decision t st o
       end
 
 and handle_payload t ~src = function
@@ -1454,6 +1611,7 @@ and resume_propagation t ~txn outcome =
           ch_vote = Some (Vote_yes { reliable = false; leave_out_ok = false });
           ch_implied_ack = false;
           ch_acked = false;
+            ch_presumed_no = false;
           ch_last_agent = false;
           ch_pending = false;
           ch_retries = 0;
@@ -1500,6 +1658,7 @@ and resume_in_doubt t ~txn =
           ch_vote = Some (Vote_yes { reliable = false; leave_out_ok = false });
           ch_implied_ack = false;
           ch_acked = false;
+            ch_presumed_no = false;
           ch_last_agent = false;
           ch_pending = false;
           ch_retries = 0;
@@ -1512,7 +1671,15 @@ and resume_in_doubt t ~txn =
   | Presumed_abort | Basic -> (
       match t.parent_name with
       | Some parent -> send t ~dst:parent [ Msg.Inquiry { txn } ]
-      | None -> subordinate_decision t st Aborted)
+      | None ->
+          (* A parentless node with a durable Prepared record delegated its
+             decision before crashing: the outcome belongs to the last
+             agent.  Presuming abort here could contradict a commit the
+             agent already made durable, so inquire the children instead
+             (the in-doubt timer keeps retrying). *)
+          List.iter
+            (fun ch -> send t ~dst:ch.ch_profile.p_name [ Msg.Inquiry { txn } ])
+            st.children)
   | Presumed_nothing -> ());
   start_heuristic_timer t st;
   start_indoubt_timer t st
@@ -1536,6 +1703,7 @@ and resume_pn_abort t ~txn =
           ch_vote = Some (Vote_yes { reliable = false; leave_out_ok = false });
           ch_implied_ack = false;
           ch_acked = false;
+            ch_presumed_no = false;
           ch_last_agent = false;
           ch_pending = false;
           ch_retries = 0;
@@ -1547,6 +1715,29 @@ let attach t = Net.add_node t.net t.name (fun ~src payloads -> handler t ~src pa
 
 let force_crash t = crash t
 let force_restart t = restart t
+
+(* Deliberately-broken restart for chaos-harness self-tests: the node comes
+   back up (network-wise) but performs neither KV recovery nor log-driven
+   protocol recovery, as if the recovery code were skipped entirely.  The
+   fault-aware audit must catch the resulting divergence. *)
+let force_restart_amnesia t =
+  t.crashed <- false;
+  t.epoch <- t.epoch + 1;
+  trace t (Trace.Restart { time = now t; node = t.name });
+  Net.restart_node t.net t.name
+
+let unresolved_txns t =
+  Hashtbl.fold (fun txn st acc -> (txn, phase_name st.phase) :: acc) t.txns []
+  |> List.sort compare
+
+let in_doubt_txns t =
+  Hashtbl.fold
+    (fun txn st acc ->
+      match st.phase with
+      | Ph_in_doubt | Ph_delegated -> txn :: acc
+      | Ph_idle | Ph_voting | Ph_deciding | Ph_propagating | Ph_ended -> acc)
+    t.txns []
+  |> List.sort compare
 
 (* The concurrent workload driver calls this when a genuinely-next
    transaction arrives (or at the end of the run): every acknowledgment

@@ -42,6 +42,12 @@ val set_on_root_complete :
     reports the outcome of [txn] to its application ([pending] is the
     wait-for-outcome "recovery still in progress" indication). *)
 
+val set_on_crash : t -> (unit -> unit) -> unit
+(** Callback fired at the end of every crash (fault-injected or forced),
+    after volatile state is wiped.  A concurrent workload driver uses it to
+    fail transactions that depended on this node and had not yet entered
+    the commit protocol. *)
+
 val set_registry : t -> Obs.Registry.t -> unit
 (** Attach a telemetry registry: every protocol phase transition then
     streams the residence time of the phase being left into the
@@ -91,3 +97,20 @@ val force_restart : t -> unit
     log and resume protocol obligations (re-drive logged outcomes, inquire
     about in-doubt transactions under PA, abort dangling PN
     commit-pending coordinations). *)
+
+val force_restart_amnesia : t -> unit
+(** Test-only deliberately-broken restart: the node rejoins the network but
+    skips both resource-manager recovery and log-driven protocol recovery.
+    Exists so the chaos harness can prove its fault-aware audit catches a
+    recovery that forgets durable decisions.  Never use outside tests. *)
+
+val unresolved_txns : t -> (string * string) list
+(** Sorted [(txn, phase)] pairs for every transaction whose in-memory state
+    has not reached END on this node.  Phase names are those of
+    {!set_registry}'s histograms. *)
+
+val in_doubt_txns : t -> string list
+(** Sorted transactions currently blocked on an outcome here: in-doubt
+    voters awaiting their coordinator and delegators awaiting their last
+    agent.  Complements {!Kvstore.in_doubt}, which only covers states
+    rebuilt by crash recovery. *)

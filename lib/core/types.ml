@@ -126,6 +126,14 @@ type config = {
   faults : fault list;
   retry_interval : float;   (** decision/ack retransmission period *)
   max_retries : int;        (** bound on automatic retransmissions *)
+  prepare_retries : int;
+      (** how many times a coordinator re-sends Prepare to silent voters
+          before presuming NO; [0] (the default) preserves the classic
+          behavior of aborting on the first vote timeout *)
+  retry_backoff : float;
+      (** multiplier applied to [retry_interval] between successive
+          retransmissions (exponential backoff, capped); [1.0] keeps the
+          classic fixed-period retransmission *)
   implied_ack_delay : float;
       (** think time before the "next transaction" data message that carries
           implied and long-locks acknowledgments in single-transaction runs *)
@@ -144,6 +152,8 @@ let default_config =
        delegation chains *)
     retry_interval = 150.0;
     max_retries = 40;
+    prepare_retries = 0;
+    retry_backoff = 1.0;
     implied_ack_delay = 2.0;
   }
 
@@ -247,6 +257,9 @@ let without_group_commit cfg = { cfg with group_commit = None }
 
 let with_retries ~interval ~max cfg =
   { cfg with retry_interval = interval; max_retries = max }
+
+let with_prepare_retries prepare_retries cfg = { cfg with prepare_retries }
+let with_retry_backoff retry_backoff cfg = { cfg with retry_backoff }
 
 let with_implied_ack_delay implied_ack_delay cfg = { cfg with implied_ack_delay }
 

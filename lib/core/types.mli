@@ -152,6 +152,12 @@ type config = {
   faults : fault list;
   retry_interval : float;  (** decision/ack retransmission period *)
   max_retries : int;  (** bound on automatic retransmissions *)
+  prepare_retries : int;
+      (** Prepare re-sends to silent voters before presuming NO; [0]
+          (default) aborts on the first vote timeout as before *)
+  retry_backoff : float;
+      (** retransmission backoff multiplier, capped exponential;
+          [1.0] (default) keeps the classic fixed period *)
   implied_ack_delay : float;
       (** think time before the "next transaction" data message that carries
           implied and long-locks acknowledgments in single-transaction runs *)
@@ -170,6 +176,8 @@ val with_io_latency : float -> config -> config
 val with_group_commit : size:int -> timeout:float -> config -> config
 val without_group_commit : config -> config
 val with_retries : interval:float -> max:int -> config -> config
+val with_prepare_retries : int -> config -> config
+val with_retry_backoff : float -> config -> config
 val with_implied_ack_delay : float -> config -> config
 
 val protocol_to_string : protocol -> string

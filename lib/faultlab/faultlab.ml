@@ -1,0 +1,373 @@
+(* Deterministic chaos engine: seeded fault plans, execution against a
+   live mixer world, fault-aware acceptance audit, greedy schedule
+   shrinking.  See faultlab.mli for the contract. *)
+
+type event =
+  | Crash of { at : float; node : string; restart_after : float option }
+  | Partition of {
+      at : float;
+      a : string;
+      b : string;
+      heal_after : float option;
+    }
+  | Drop of { at : float; src : string; dst : string; nth : int }
+  | Jitter of { at : float; src : string; dst : string; amp : float }
+
+type plan = event list
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Generated times are quantized to 1ms (see [norm]), so %.12g prints them
+   exactly and the printed plan replays the identical schedule. *)
+let fl x = Printf.sprintf "%.12g" x
+
+let opt_delay = function Some d -> "+" ^ fl d | None -> "-"
+
+let event_to_string = function
+  | Crash { at; node; restart_after } ->
+      Printf.sprintf "crash@%s:%s:%s" (fl at) node (opt_delay restart_after)
+  | Partition { at; a; b; heal_after } ->
+      Printf.sprintf "part@%s:%s|%s:%s" (fl at) a b (opt_delay heal_after)
+  | Drop { at; src; dst; nth } ->
+      Printf.sprintf "drop@%s:%s>%s:%d" (fl at) src dst nth
+  | Jitter { at; src; dst; amp } ->
+      Printf.sprintf "jit@%s:%s>%s:%s" (fl at) src dst (fl amp)
+
+let to_string plan = String.concat "," (List.map event_to_string plan)
+
+let bad s = invalid_arg (Printf.sprintf "Faultlab.of_string: malformed %S" s)
+
+let parse_float s tok = match float_of_string_opt s with
+  | Some f -> f
+  | None -> bad tok
+
+let parse_delay s tok =
+  if s = "-" then None
+  else if String.length s > 1 && s.[0] = '+' then
+    Some (parse_float (String.sub s 1 (String.length s - 1)) tok)
+  else bad tok
+
+let split2 sep s tok =
+  match String.index_opt s sep with
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> bad tok
+
+let parse_event tok =
+  let kind, rest = split2 '@' tok tok in
+  match String.split_on_char ':' rest with
+  | [ at; spec; arg ] -> (
+      let at = parse_float at tok in
+      match kind with
+      | "crash" -> Crash { at; node = spec; restart_after = parse_delay arg tok }
+      | "part" ->
+          let a, b = split2 '|' spec tok in
+          Partition { at; a; b; heal_after = parse_delay arg tok }
+      | "drop" ->
+          let src, dst = split2 '>' spec tok in
+          let nth = match int_of_string_opt arg with
+            | Some n when n >= 1 -> n
+            | _ -> bad tok
+          in
+          Drop { at; src; dst; nth }
+      | "jit" ->
+          let src, dst = split2 '>' spec tok in
+          Jitter { at; src; dst; amp = parse_float arg tok }
+      | _ -> bad tok)
+  | _ -> bad tok
+
+let of_string s =
+  if s = "" then []
+  else List.map parse_event (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type gen_cfg = {
+  crashes : int;
+  partitions : int;
+  drops : int;
+  jitters : int;
+  horizon : float;
+  restart_prob : float;
+  mean_downtime : float;
+  mean_partition : float;
+  jitter_amp : float;
+}
+
+let default_gen =
+  {
+    crashes = 2;
+    partitions = 1;
+    drops = 3;
+    jitters = 2;
+    horizon = 2000.0;
+    restart_prob = 0.8;
+    mean_downtime = 150.0;
+    mean_partition = 120.0;
+    jitter_amp = 4.0;
+  }
+
+let norm x = Float.round (x *. 1000.0) /. 1000.0
+
+let event_time = function
+  | Crash { at; _ } | Partition { at; _ } | Drop { at; _ } | Jitter { at; _ }
+    ->
+      at
+
+let sort_plan plan =
+  List.sort
+    (fun a b ->
+      match compare (event_time a) (event_time b) with
+      | 0 -> compare (event_to_string a) (event_to_string b)
+      | c -> c)
+    plan
+
+let gen ~seed ~nodes cfg =
+  if nodes = [] then invalid_arg "Faultlab.gen: empty node list";
+  let rng = Simkernel.Det_rng.create ~seed in
+  let arr = Array.of_list nodes in
+  let pick () = Simkernel.Det_rng.pick rng arr in
+  let pick_pair () =
+    (* distinct endpoints; the caller guarantees >= 2 nodes *)
+    let a = pick () in
+    let rec other () =
+      let b = pick () in
+      if b = a then other () else b
+    in
+    (a, other ())
+  in
+  let at () = norm (Simkernel.Det_rng.float rng cfg.horizon) in
+  let delay ~mean =
+    if Simkernel.Det_rng.float rng 1.0 < cfg.restart_prob then
+      Some (norm (1.0 +. Simkernel.Det_rng.exponential rng ~mean))
+    else None
+  in
+  let evs = ref [] in
+  let push e = evs := e :: !evs in
+  for _ = 1 to cfg.crashes do
+    push
+      (Crash
+         {
+           at = at ();
+           node = pick ();
+           restart_after = delay ~mean:cfg.mean_downtime;
+         })
+  done;
+  if Array.length arr >= 2 then begin
+    for _ = 1 to cfg.partitions do
+      let a, b = pick_pair () in
+      push (Partition { at = at (); a; b; heal_after = delay ~mean:cfg.mean_partition })
+    done;
+    for _ = 1 to cfg.drops do
+      let src, dst = pick_pair () in
+      push (Drop { at = at (); src; dst; nth = 1 + Simkernel.Det_rng.int rng 4 })
+    done;
+    for _ = 1 to cfg.jitters do
+      let src, dst = pick_pair () in
+      let amp = norm (0.5 +. Simkernel.Det_rng.float rng (Float.max 0.0 (cfg.jitter_amp -. 0.5))) in
+      push (Jitter { at = at (); src; dst; amp })
+    done
+  end;
+  sort_plan !evs
+
+let tree_nodes tree =
+  List.map (fun (p : Tpc.Types.profile) -> p.p_name) (Tpc.Types.tree_members tree)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
+    (w : Tpc.Run.world) =
+  let engine = w.Tpc.Run.engine in
+  let net = w.Tpc.Run.net in
+  let sched_at ~at f = ignore (Simkernel.Engine.schedule_at engine ~time:at f) in
+  let sched_after ~delay f =
+    ignore (Simkernel.Engine.schedule engine ~delay f)
+  in
+  let known name = List.mem_assoc name w.Tpc.Run.nodes in
+  let jit_amps : (string * string, float) Hashtbl.t = Hashtbl.create 4 in
+  if List.exists (function Jitter _ -> true | _ -> false) plan then begin
+    let jrng = Simkernel.Det_rng.create ~seed:jitter_seed in
+    Tpc.Net.set_jitter net
+      (Some
+         (fun ~src ~dst ->
+           match Hashtbl.find_opt jit_amps (src, dst) with
+           | Some amp -> Simkernel.Det_rng.float jrng amp
+           | None -> 0.0))
+  end;
+  List.iter
+    (function
+      | Crash { at; node; restart_after } ->
+          if known node then
+            sched_at ~at (fun () ->
+                let p = Tpc.Run.participant w node in
+                if not (Tpc.Participant.is_crashed p) then begin
+                  Tpc.Participant.force_crash p;
+                  match restart_after with
+                  | None -> ()
+                  | Some d ->
+                      sched_after ~delay:d (fun () ->
+                          if Tpc.Participant.is_crashed p then
+                            if broken_recovery then
+                              Tpc.Participant.force_restart_amnesia p
+                            else Tpc.Participant.force_restart p)
+                end)
+      | Partition { at; a; b; heal_after } ->
+          if known a && known b && a <> b then
+            sched_at ~at (fun () ->
+                Tpc.Net.partition net a b;
+                match heal_after with
+                | None -> ()
+                | Some d -> sched_after ~delay:d (fun () -> Tpc.Net.heal net a b))
+      | Drop { at; src; dst; nth } ->
+          if known src && known dst && src <> dst then
+            sched_at ~at (fun () -> Tpc.Net.drop_nth net ~src ~dst ~nth)
+      | Jitter { at; src; dst; amp } ->
+          sched_at ~at (fun () -> Hashtbl.replace jit_amps (src, dst) amp))
+    plan
+
+(* ------------------------------------------------------------------ *)
+(* Fault-aware acceptance check                                        *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  v_committed_missing : int;
+  v_aborted_applied : int;
+  v_bad_value : int;
+  v_divergence : int;
+  v_wal_divergence : int;
+  v_leaked_locks : int;
+  v_engine_pending : int;
+  v_unresolved : int;
+  v_in_doubt : int;
+}
+
+let ok v =
+  v.v_committed_missing = 0 && v.v_aborted_applied = 0 && v.v_bad_value = 0
+  && v.v_divergence = 0 && v.v_wal_divergence = 0 && v.v_leaked_locks = 0
+  && v.v_engine_pending = 0
+
+let verdict_fields v =
+  [
+    ("committed_missing", v.v_committed_missing);
+    ("aborted_applied", v.v_aborted_applied);
+    ("bad_value", v.v_bad_value);
+    ("divergence", v.v_divergence);
+    ("wal_divergence", v.v_wal_divergence);
+    ("leaked_locks", v.v_leaked_locks);
+    ("engine_pending", v.v_engine_pending);
+    ("unresolved", v.v_unresolved);
+    ("in_doubt", v.v_in_doubt);
+  ]
+
+let audit (w : Tpc.Run.world) summaries =
+  let b = Tpc.Mixer.Audit.breakdown w summaries in
+  let net = w.Tpc.Run.net in
+  (* agreement: no transaction may carry both commit and abort evidence
+     anywhere in the complex's logs (heuristic records included: the chaos
+     profiles never arm heuristics, so any conflict is a protocol bug) *)
+  let commit_ev : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let abort_ev : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun wal ->
+      List.iter
+        (fun (r : Wal.Log_record.t) ->
+          match r.kind with
+          | Wal.Log_record.Rm_committed | Wal.Log_record.Committed
+          | Wal.Log_record.Heuristic_commit ->
+              Hashtbl.replace commit_ev r.txn ()
+          | Wal.Log_record.Rm_aborted | Wal.Log_record.Aborted
+          | Wal.Log_record.Heuristic_abort ->
+              Hashtbl.replace abort_ev r.txn ()
+          | Wal.Log_record.Rm_update | Wal.Log_record.Rm_prepared
+          | Wal.Log_record.Checkpoint | Wal.Log_record.Commit_pending
+          | Wal.Log_record.Prepared | Wal.Log_record.End
+          | Wal.Log_record.Agent ->
+              ())
+        (Wal.Log.all_records wal))
+    (Tpc.Run.all_wals w);
+  let divergence =
+    Hashtbl.fold
+      (fun txn () acc -> if Hashtbl.mem abort_ev txn then acc + 1 else acc)
+      commit_ev 0
+  in
+  let wal_divergence = ref 0 in
+  let leaked = ref 0 in
+  let unresolved_count = ref 0 in
+  let in_doubt_count = ref 0 in
+  List.iter
+    (fun (name, (n : Tpc.Run.node)) ->
+      if Tpc.Net.is_up net name then begin
+        let kv = n.Tpc.Run.kv in
+        let p = n.Tpc.Run.participant in
+        (* recovery faithful to the log: the store must equal a pure replay
+           of this member's records (catches recoveries that forget durable
+           decisions, e.g. force_restart_amnesia) *)
+        let expected =
+          Kvstore.replay_bindings
+            (Wal.Log.all_records n.Tpc.Run.wal)
+            ~node:(Kvstore.name kv)
+        in
+        if Kvstore.committed_bindings kv <> expected then incr wal_divergence;
+        (* lock hygiene: a grant still held here is legitimate only while
+           its transaction is still blocked on this member (in doubt, or
+           otherwise short of END in the protocol state) *)
+        let unresolved = Tpc.Participant.unresolved_txns p in
+        let in_doubt = Kvstore.in_doubt kv in
+        unresolved_count := !unresolved_count + List.length unresolved;
+        in_doubt_count :=
+          !in_doubt_count
+          + List.length (Tpc.Participant.in_doubt_txns p)
+          + List.length in_doubt;
+        List.iter
+          (fun txn ->
+            if
+              (not (List.mem txn in_doubt))
+              && not (List.mem_assoc txn unresolved)
+            then incr leaked)
+          (Lockmgr.holding_txns (Kvstore.locks kv))
+      end)
+    w.Tpc.Run.nodes;
+  {
+    v_committed_missing = b.Tpc.Mixer.Audit.committed_missing;
+    v_aborted_applied = b.Tpc.Mixer.Audit.aborted_applied;
+    v_bad_value = b.Tpc.Mixer.Audit.bad_value;
+    v_divergence = divergence;
+    v_wal_divergence = !wal_divergence;
+    v_leaked_locks = !leaked;
+    v_engine_pending = Simkernel.Engine.pending w.Tpc.Run.engine;
+    v_unresolved = !unresolved_count;
+    v_in_doubt = !in_doubt_count;
+  }
+
+let run_case ?config ?(broken_recovery = false) ?jitter_seed mix tree plan =
+  let agg, w, summaries =
+    Tpc.Mixer.run_full ?config
+      ~inject:(inject ~broken_recovery ?jitter_seed plan)
+      mix tree
+  in
+  (agg, audit w summaries)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule shrinking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let shrink ~check plan =
+  if not (check plan) then plan
+  else
+    let rec pass p =
+      let rec try_each before = function
+        | [] -> None
+        | e :: rest ->
+            let candidate = List.rev_append before rest in
+            if check candidate then Some candidate
+            else try_each (e :: before) rest
+      in
+      match try_each [] p with Some smaller -> pass smaller | None -> p
+    in
+    pass plan

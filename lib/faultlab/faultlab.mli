@@ -1,0 +1,131 @@
+(** Deterministic chaos engine for the concurrent 2PC mixer.
+
+    A {e fault plan} is a list of timed events - crashes with optional
+    restarts, partitions with optional heals, nth-message drops and
+    per-link delay jitter - compiled from a seed and executed against a
+    live {!Tpc.Mixer.run_full} on the same virtual clock as the workload.
+    Everything is deterministic: the same seed and plan replay the same
+    interleaving bit for bit, which is what makes the {!shrink}er's
+    minimized repros and the CI smoke sweep meaningful.
+
+    The acceptance check ({!audit}) is fault-aware: it demands atomicity
+    (committed everywhere / aborted nowhere, with members excused only
+    while down or legitimately in doubt), agreement (no transaction with
+    both durable commit and abort evidence), recovery faithful to the log
+    (each up member's store equals a pure replay of its records), no
+    leaked locks and engine quiescence. *)
+
+(** {2 Fault plans} *)
+
+type event =
+  | Crash of { at : float; node : string; restart_after : float option }
+      (** crash [node] at [at]; restart (with full recovery) after
+          [restart_after] if given, else stay down forever *)
+  | Partition of {
+      at : float;
+      a : string;
+      b : string;
+      heal_after : float option;
+    }
+  | Drop of { at : float; src : string; dst : string; nth : int }
+      (** lose the [nth] message (1-based, counted from [at]) on the
+          [src -> dst] link *)
+  | Jitter of { at : float; src : string; dst : string; amp : float }
+      (** from [at] on, add uniform [0, amp) delay jitter to the link *)
+
+type plan = event list
+
+val event_to_string : event -> string
+(** Compact one-token form: [crash@T:node:+D] (or [:-] for no restart),
+    [part@T:a|b:+D] (or [:-]), [drop@T:src>dst:n], [jit@T:src>dst:amp]. *)
+
+val to_string : plan -> string
+(** Events joined with [","]; the empty plan is [""]. *)
+
+val of_string : string -> plan
+(** Inverse of {!to_string}.  Raises [Invalid_argument] on malformed
+    input.  Round-trips exactly: generated times are quantized so the
+    printed form replays the identical schedule. *)
+
+(** {2 Seeded generation} *)
+
+type gen_cfg = {
+  crashes : int;
+  partitions : int;
+  drops : int;
+  jitters : int;
+  horizon : float;  (** events are drawn uniformly over [0, horizon) *)
+  restart_prob : float;  (** P(a crash restarts / a partition heals) *)
+  mean_downtime : float;  (** mean restart delay (exponential) *)
+  mean_partition : float;  (** mean heal delay (exponential) *)
+  jitter_amp : float;  (** max per-link jitter amplitude *)
+}
+
+val default_gen : gen_cfg
+
+val gen : seed:int -> nodes:string list -> gen_cfg -> plan
+(** Compile a fault plan from [seed], sorted by time.  Partition, drop and
+    jitter events need at least two nodes and are skipped otherwise.
+    Raises [Invalid_argument] on an empty node list. *)
+
+val tree_nodes : Tpc.Types.tree -> string list
+(** Member names of a commit tree, root first - the node universe for
+    {!gen}. *)
+
+(** {2 Execution} *)
+
+val inject :
+  ?broken_recovery:bool -> ?jitter_seed:int -> plan -> Tpc.Run.world -> unit
+(** Schedule every event of the plan onto the world's engine; pass as the
+    [?inject] argument of {!Tpc.Mixer.run_full}.  Crash/restart events are
+    guarded (a down node is not re-crashed, an up node not re-restarted) so
+    overlapping plans stay well-formed.  [broken_recovery] substitutes
+    {!Tpc.Participant.force_restart_amnesia} for every restart - the
+    deliberately broken recovery the audit must catch.  Jitter draws come
+    from a dedicated {!Simkernel.Det_rng} seeded with [jitter_seed]
+    (default fixed), so identical plans replay identical delays. *)
+
+(** {2 Fault-aware acceptance check} *)
+
+type verdict = {
+  v_committed_missing : int;
+      (** committed txn absent at an up, not-in-doubt updated member *)
+  v_aborted_applied : int;  (** aborted/undecided txn durably applied *)
+  v_bad_value : int;  (** committed binding not owned by a committed writer *)
+  v_divergence : int;
+      (** txns with both durable commit and abort evidence *)
+  v_wal_divergence : int;
+      (** up members whose store differs from a pure replay of their log *)
+  v_leaked_locks : int;
+      (** grants at up members held by txns no longer blocked there *)
+  v_engine_pending : int;  (** events still queued after quiescence *)
+  v_unresolved : int;  (** informational: txn states short of END at up members *)
+  v_in_doubt : int;  (** informational: blocked txn/member pairs *)
+}
+
+val audit : Tpc.Run.world -> Tpc.Mixer.txn_summary list -> verdict
+
+val ok : verdict -> bool
+(** True iff every violation counter (everything except the two
+    informational fields) is zero. *)
+
+val verdict_fields : verdict -> (string * int) list
+(** Field-name/value pairs, declaration order - for JSON emission. *)
+
+val run_case :
+  ?config:Tpc.Types.config ->
+  ?broken_recovery:bool ->
+  ?jitter_seed:int ->
+  Tpc.Mixer.cfg ->
+  Tpc.Types.tree ->
+  plan ->
+  Tpc.Metrics.Agg.t * verdict
+(** Build the world, inject the plan, run to quiescence, audit. *)
+
+(** {2 Schedule shrinking} *)
+
+val shrink : check:(plan -> bool) -> plan -> plan
+(** Greedy delta-debugging: repeatedly drop single events while [check]
+    (does this plan still reproduce the violation?) holds, until no single
+    removal reproduces.  Returns the input unchanged when [check] fails on
+    it.  [check] is called O(n{^ 2}) times. *)

@@ -11,6 +11,9 @@ type t = {
   store : (string, string) Hashtbl.t; (* committed values *)
   wsets : (string, op list ref) Hashtbl.t; (* txn -> reversed op list *)
   mutable in_doubt_txns : string list;
+  lost_txns : (string, unit) Hashtbl.t;
+      (* txns whose unprepared updates were wiped by a crash: a later
+         Prepare must vote NO, not read-only *)
 }
 
 let create engine ~name ~wal ?locks ?(reliable = false) () =
@@ -24,6 +27,7 @@ let create engine ~name ~wal ?locks ?(reliable = false) () =
     store = Hashtbl.create 64;
     wsets = Hashtbl.create 8;
     in_doubt_txns = [];
+    lost_txns = Hashtbl.create 4;
   }
 
 let name t = t.rm_name
@@ -158,11 +162,17 @@ let apply_ops t ops =
 
 let finish t ~txn =
   Hashtbl.remove t.wsets txn;
+  Hashtbl.remove t.lost_txns txn;
   t.in_doubt_txns <- List.filter (fun x -> x <> txn) t.in_doubt_txns;
   Lockmgr.release_all t.lock_table ~txn
 
 let prepare t ~txn ~force k =
-  if not (is_updated t ~txn) then begin
+  if Hashtbl.mem t.lost_txns txn then
+    (* we performed updates for this transaction but a crash wiped the
+       unprepared write set: "no updates" here means "work lost", so the
+       only safe vote is NO *)
+    k Vote_no
+  else if not (is_updated t ~txn) then begin
     (* read-only: no log write, release read locks now *)
     Lockmgr.release_all t.lock_table ~txn;
     Hashtbl.remove t.wsets txn;
@@ -197,6 +207,15 @@ let abort t ~txn k =
   finish t ~txn;
   k ()
 
+let abandon t ~txn k =
+  Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.rm_name Wal.Log_record.Rm_aborted);
+  finish t ~txn;
+  (* remember the unilateral abort: a Prepare that straggles in afterwards
+     (delayed, or retransmitted by a recovering coordinator) must draw
+     Vote_no, not a read-only vote for work we just threw away *)
+  Hashtbl.replace t.lost_txns txn ();
+  k ()
+
 (* --- introspection, crash, recovery -------------------------------------- *)
 
 let committed_value t key = Hashtbl.find_opt t.store key
@@ -210,7 +229,10 @@ let in_doubt t = t.in_doubt_txns
 let crash t =
   Hashtbl.reset t.store;
   Hashtbl.reset t.wsets;
-  t.in_doubt_txns <- []
+  t.in_doubt_txns <- [];
+  (* the lock table is volatile state too: crashing reclaims every grant a
+     dead transaction was holding (waiters' continuations died with us) *)
+  Lockmgr.clear t.lock_table
 
 (* --- checkpointing -------------------------------------------------------- *)
 
@@ -265,10 +287,54 @@ let checkpoint t k =
              else !past_newest || live r.txn);
       k ())
 
+let replay_bindings records ~node =
+  let store : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let pending : (string, op list ref) Hashtbl.t = Hashtbl.create 8 in
+  let apply ops =
+    List.iter
+      (function
+        | Put (k, v) -> Hashtbl.replace store k v
+        | Delete k -> Hashtbl.remove store k)
+      (List.rev ops)
+  in
+  List.iter
+    (fun (r : Wal.Log_record.t) ->
+      if r.node = node then
+        match r.kind with
+        | Wal.Log_record.Checkpoint ->
+            Hashtbl.reset store;
+            List.iter (fun (k, v) -> Hashtbl.replace store k v)
+              (decode_snapshot r.payload)
+        | Wal.Log_record.Rm_update ->
+            let ops =
+              match Hashtbl.find_opt pending r.txn with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.replace pending r.txn l;
+                  l
+            in
+            ops := decode_op r.payload :: !ops
+        | Wal.Log_record.Rm_committed ->
+            (match Hashtbl.find_opt pending r.txn with
+            | Some ops -> apply !ops
+            | None -> ());
+            Hashtbl.remove pending r.txn
+        | Wal.Log_record.Rm_aborted -> Hashtbl.remove pending r.txn
+        | Wal.Log_record.Rm_prepared | Wal.Log_record.Commit_pending
+        | Wal.Log_record.Prepared | Wal.Log_record.Committed
+        | Wal.Log_record.Aborted | Wal.Log_record.End | Wal.Log_record.Agent
+        | Wal.Log_record.Heuristic_commit | Wal.Log_record.Heuristic_abort ->
+            ())
+    records;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) store []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let recover t =
   Hashtbl.reset t.store;
   Hashtbl.reset t.wsets;
   t.in_doubt_txns <- [];
+  Hashtbl.reset t.lost_txns;
   let pending : (string, op list ref) Hashtbl.t = Hashtbl.create 8 in
   let prepared : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let scan (r : Wal.Log_record.t) =
@@ -307,11 +373,31 @@ let recover t =
           ()
   in
   List.iter scan (Wal.Log.durable t.log);
-  (* prepared-but-undecided transactions stay in doubt, write set retained *)
+  (* prepared-but-undecided transactions stay in doubt, write set retained,
+     and their exclusive locks are re-acquired so new work cannot read or
+     overwrite data whose fate is still unknown (the paper's blocking
+     window) *)
   Hashtbl.iter
     (fun txn () ->
       t.in_doubt_txns <- txn :: t.in_doubt_txns;
-      match Hashtbl.find_opt pending txn with
-      | Some ops -> Hashtbl.replace t.wsets txn ops
-      | None -> Hashtbl.replace t.wsets txn (ref []))
-    prepared
+      let ops =
+        match Hashtbl.find_opt pending txn with
+        | Some ops -> ops
+        | None -> ref []
+      in
+      Hashtbl.replace t.wsets txn ops;
+      List.iter
+        (fun op ->
+          let key = match op with Put (k, _) -> k | Delete k -> k in
+          ignore
+            (Lockmgr.try_acquire t.lock_table ~txn ~key:(lock_name t key)
+               Lockmgr.Exclusive))
+        !ops)
+    prepared;
+  (* updates logged but never prepared: the in-memory write set died with
+     the crash, so a retransmitted Prepare must not mistake this for a
+     read-only transaction *)
+  Hashtbl.iter
+    (fun txn _ops ->
+      if not (Hashtbl.mem prepared txn) then Hashtbl.replace t.lost_txns txn ())
+    pending

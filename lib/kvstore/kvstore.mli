@@ -73,7 +73,9 @@ val prepare : t -> txn:string -> force:bool -> (vote -> unit) -> unit
     (no log write) and releases its read locks.  Otherwise an [Rm_prepared]
     record is written ([force:false] = shared-log optimization: the record is
     buffered and hardens with the TM's next force) and the vote is
-    [Vote_yes]. *)
+    [Vote_yes].  Exception: a transaction whose unprepared write set was
+    wiped by a crash (see {!recover}) votes [Vote_no], never read-only -
+    "no updates in memory" means "work lost" for it. *)
 
 val commit : t -> txn:string -> force:bool -> (unit -> unit) -> unit
 (** Apply the write set, write [Rm_committed] (forced or not), release
@@ -81,6 +83,13 @@ val commit : t -> txn:string -> force:bool -> (unit -> unit) -> unit
 
 val abort : t -> txn:string -> (unit -> unit) -> unit
 (** Discard the write set, write a non-forced [Rm_aborted], release locks. *)
+
+val abandon : t -> txn:string -> (unit -> unit) -> unit
+(** Unilateral branch abort for a transaction that was never asked to
+    vote (its coordinator died or was cut off before sending Prepare):
+    {!abort}, plus the transaction is remembered so a straggling Prepare
+    draws [Vote_no].  Before the vote an RM is always free to abort - the
+    paper's Section 2 ground rule this leans on. *)
 
 (** {2 Introspection, crash, recovery} *)
 
@@ -94,7 +103,27 @@ val in_doubt : t -> string list
 (** Transactions prepared here with no durable outcome (post-[recover]). *)
 
 val crash : t -> unit
+(** Wipe volatile state: committed cache, write sets, in-doubt list, and the
+    lock table (crash reclaims every grant; queued waiters are dropped
+    without being woken). *)
+
 val recover : t -> unit
+(** Rebuild from the durable log.  Committed transactions are redone;
+    prepared-but-undecided transactions become in-doubt with their write
+    sets retained and their exclusive locks re-acquired, so post-restart
+    work blocks behind them exactly as the paper's in-doubt window
+    requires.  Transactions with durable updates but no prepare record lost
+    their write set in the crash: they are remembered so a late
+    (retransmitted) Prepare draws [Vote_no] instead of a bogus read-only
+    vote. *)
+
+val replay_bindings :
+  Wal.Log_record.t list -> node:string -> (string * string) list
+(** Pure replay: the committed key/value pairs (sorted) that [records]
+    imply for resource manager [node], using the same
+    checkpoint/redo/discard rules as {!recover}.  The chaos audit compares
+    this against {!committed_bindings} to catch recoveries that diverge
+    from their own log. *)
 
 val checkpoint : t -> (unit -> unit) -> unit
 (** Write a forced checkpoint record carrying a snapshot of the committed

@@ -148,6 +148,19 @@ let release_all t ~txn =
       in
       List.iter release_key !keys
 
+let holding_txns t =
+  Hashtbl.fold (fun txn _keys acc -> txn :: acc) t.txn_keys []
+  |> List.sort_uniq compare
+
+let clear t =
+  (* Crash reclamation: the node lost its volatile state, so every grant and
+     every queued request vanishes without waking continuations (the waiters
+     died with the node).  Hold-time statistics for already-released locks
+     survive; in-flight holds are simply forgotten. *)
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.txn_keys;
+  t.nwaiting <- 0
+
 let holds t ~txn ~key =
   match Hashtbl.find_opt t.table key with
   | None -> None

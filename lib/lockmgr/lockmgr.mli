@@ -31,6 +31,16 @@ val release_all : t -> txn:string -> unit
 (** Release every lock held by [txn] (commit/abort time), waking compatible
     waiters in FIFO order. *)
 
+val holding_txns : t -> string list
+(** Sorted list of transactions currently holding at least one grant.
+    Used by the chaos harness's leaked-lock audit. *)
+
+val clear : t -> unit
+(** Crash reclamation: drop every grant, every queued request and every
+    txn->keys binding {e without} firing [granted] continuations — the
+    waiters' closures died with the node's volatile state.  Cumulative
+    hold-time statistics are kept. *)
+
 val holds : t -> txn:string -> key:string -> mode option
 
 val holders : t -> key:string -> (string * mode) list

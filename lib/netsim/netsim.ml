@@ -16,9 +16,11 @@ struct
     default_latency : float;
     nodes : (string, node_state) Hashtbl.t;
     latencies : (string * string, float) Hashtbl.t;
+    directed_latencies : (string * string, float) Hashtbl.t;
     partitions : (string * string, unit) Hashtbl.t;
     directed_sent : (string * string, int ref) Hashtbl.t;
     drops : (string * string, int list ref) Hashtbl.t;
+    mutable jitter : (src:string -> dst:string -> float) option;
     mutable total_flows : int;
   }
 
@@ -28,9 +30,11 @@ struct
       default_latency;
       nodes = Hashtbl.create 16;
       latencies = Hashtbl.create 16;
+      directed_latencies = Hashtbl.create 4;
       partitions = Hashtbl.create 4;
       directed_sent = Hashtbl.create 16;
       drops = Hashtbl.create 4;
+      jitter = None;
       total_flows = 0;
     }
 
@@ -52,10 +56,18 @@ struct
 
   let set_latency t a b l = Hashtbl.replace t.latencies (pair a b) l
 
+  let set_latency_directed t ~src ~dst l =
+    Hashtbl.replace t.directed_latencies (src, dst) l
+
   let latency t a b =
-    match Hashtbl.find_opt t.latencies (pair a b) with
+    match Hashtbl.find_opt t.directed_latencies (a, b) with
     | Some l -> l
-    | None -> t.default_latency
+    | None -> (
+        match Hashtbl.find_opt t.latencies (pair a b) with
+        | Some l -> l
+        | None -> t.default_latency)
+
+  let set_jitter t f = t.jitter <- f
 
   let partition t a b = Hashtbl.replace t.partitions (pair a b) ()
   let heal t a b = Hashtbl.remove t.partitions (pair a b)
@@ -97,7 +109,13 @@ struct
         | _ -> false
       in
       if not lost then begin
-        let l = latency t src dst in
+        let l =
+          latency t src dst
+          +.
+          match t.jitter with
+          | None -> 0.0
+          | Some f -> Float.max 0.0 (f ~src ~dst)
+        in
         ignore
           (Simkernel.Engine.schedule t.engine ~delay:l (fun () ->
                if d.up then begin

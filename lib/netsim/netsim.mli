@@ -34,7 +34,23 @@ end) : sig
   val set_latency : t -> string -> string -> float -> unit
   (** Symmetric per-pair latency override. *)
 
+  val set_latency_directed : t -> src:string -> dst:string -> float -> unit
+  (** Per-direction latency override for the [src -> dst] link.  Takes
+      precedence over the symmetric override; the reverse direction is
+      unaffected (it keeps the symmetric/default value unless overridden
+      itself).  Models asymmetric links such as satellite up/downlinks. *)
+
   val latency : t -> string -> string -> float
+  (** Effective base latency from first to second node: directed override,
+      else symmetric override, else default. *)
+
+  val set_jitter : t -> (src:string -> dst:string -> float) option -> unit
+  (** Install (or clear) a delay-jitter hook.  When set, the hook is called
+      once per delivered message and its result (clamped at [0.0]) is added
+      to the link's base latency.  A deterministic hook — e.g. one drawing
+      from {!Simkernel.Det_rng} — keeps runs reproducible.  Note that
+      variable jitter can reorder messages on a link, so the per-pair FIFO
+      guarantee no longer holds while a jitter hook is installed. *)
 
   val send : t -> src:string -> dst:string -> P.t list -> bool
   (** Send one message (one flow) carrying the given payload bundle.

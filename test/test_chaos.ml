@@ -1,0 +1,135 @@
+(* The chaos engine itself: fault plans round-trip through their compact
+   string form, identical seeds and plans replay bit-identically, healthy
+   sweeps audit clean, and a deliberately broken recovery is both caught
+   by the fault-aware audit and shrunk to a small repro. *)
+
+open Tpc.Types
+module F = Faultlab
+module M = Tpc.Mixer
+
+let chaos_config protocol =
+  {
+    default_config with
+    protocol;
+    retry_interval = 25.0;
+    max_retries = 8;
+    prepare_retries = 2;
+    retry_backoff = 2.0;
+  }
+
+let tree () =
+  Tree
+    ( member "coord",
+      [
+        Tree (member "sub0", []);
+        Tree (member "sub1", []);
+        Tree (member "sub2", []);
+      ] )
+
+let mixer_cfg ?(txns = 60) ?(seed = 11) () =
+  { M.default_cfg with txns; concurrency = 6; seed }
+
+(* --- plan serialization ----------------------------------------------- *)
+
+let test_plan_round_trip () =
+  let nodes = F.tree_nodes (tree ()) in
+  for seed = 1 to 20 do
+    let plan = F.gen ~seed ~nodes F.default_gen in
+    let s = F.to_string plan in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d round-trips" seed)
+      s
+      (F.to_string (F.of_string s))
+  done
+
+let test_plan_forms_parse () =
+  let s = "crash@10:sub0:+25.5,crash@20:sub1:-,part@30:coord|sub2:+8,part@40:sub0|sub1:-,drop@50:coord>sub0:3,jit@60:sub1>coord:2.75" in
+  Alcotest.(check string) "every event form parses and reprints" s
+    (F.to_string (F.of_string s));
+  Alcotest.(check int) "six events" 6 (List.length (F.of_string s))
+
+(* --- determinism ------------------------------------------------------- *)
+
+let test_identical_replay () =
+  (* same seed, same plan: the aggregate must be bit-identical across two
+     fresh runs - the property the shrinker and seed replay depend on *)
+  let t = tree () in
+  let plan = F.gen ~seed:7 ~nodes:(F.tree_nodes t) F.default_gen in
+  let run () =
+    F.run_case ~config:(chaos_config Presumed_abort) (mixer_cfg ()) t plan
+  in
+  let agg1, v1 = run () in
+  let agg2, v2 = run () in
+  Alcotest.(check string) "bit-identical aggregate JSON"
+    (Tpc.Metrics.Agg.to_json agg1)
+    (Tpc.Metrics.Agg.to_json agg2);
+  Alcotest.(check (list (pair string int))) "identical verdict"
+    (F.verdict_fields v1) (F.verdict_fields v2)
+
+(* --- healthy sweeps audit clean ---------------------------------------- *)
+
+let test_sweep_clean protocol () =
+  for seed = 1 to 8 do
+    let t = tree () in
+    let plan = F.gen ~seed ~nodes:(F.tree_nodes t) F.default_gen in
+    let _agg, v =
+      F.run_case ~config:(chaos_config protocol) (mixer_cfg ~seed ()) t plan
+    in
+    if not (F.ok v) then
+      Alcotest.failf "seed %d (%s) violated: %s" seed
+        (protocol_to_string protocol)
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+              (F.verdict_fields v)))
+  done
+
+(* --- broken recovery is caught and shrunk ------------------------------ *)
+
+let test_broken_recovery_caught_and_shrunk () =
+  let t = tree () in
+  (* a mid-workload crash+restart buried in irrelevant noise events *)
+  let plan =
+    [
+      F.Drop { at = 20.0; src = "coord"; dst = "sub2"; nth = 3 };
+      F.Jitter { at = 40.0; src = "sub1"; dst = "coord"; amp = 2.0 };
+      F.Crash { at = 150.0; node = "sub0"; restart_after = Some 60.0 };
+      F.Drop { at = 200.0; src = "sub2"; dst = "sub1"; nth = 1 };
+      F.Partition { at = 260.0; a = "sub1"; b = "sub2"; heal_after = Some 30.0 };
+    ]
+  in
+  let fails p =
+    let _agg, v =
+      F.run_case
+        ~config:(chaos_config Presumed_abort)
+        ~broken_recovery:true (mixer_cfg ()) t p
+    in
+    not (F.ok v)
+  in
+  Alcotest.(check bool) "amnesiac restart violates the audit" true (fails plan);
+  let small = F.shrink ~check:fails plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 3 events (got %d)" (List.length small))
+    true
+    (List.length small <= 3);
+  Alcotest.(check bool) "minimized plan still reproduces" true (fails small);
+  (* with recovery intact the very same schedule audits clean *)
+  let _agg, v =
+    F.run_case ~config:(chaos_config Presumed_abort) (mixer_cfg ()) t plan
+  in
+  Alcotest.(check bool) "correct recovery passes the same schedule" true
+    (F.ok v)
+
+let suite =
+  [
+    Alcotest.test_case "plan round-trips" `Quick test_plan_round_trip;
+    Alcotest.test_case "all event forms parse" `Quick test_plan_forms_parse;
+    Alcotest.test_case "identical seed+plan replays bit-identically" `Quick
+      test_identical_replay;
+    Alcotest.test_case "PA sweep audits clean" `Quick
+      (test_sweep_clean Presumed_abort);
+    Alcotest.test_case "PN sweep audits clean" `Quick
+      (test_sweep_clean Presumed_nothing);
+    Alcotest.test_case "broken recovery caught and shrunk" `Quick
+      test_broken_recovery_caught_and_shrunk;
+  ]

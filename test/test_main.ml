@@ -17,6 +17,8 @@ let () =
       ("crash-matrix", Test_crash_matrix.suite);
       ("sequences", Test_sequences.suite);
       ("lossy", Test_lossy.suite);
+      ("retransmit", Test_retransmit.suite);
+      ("chaos", Test_chaos.suite);
       ("scenarios", Test_scenarios.suite);
       ("contention", Test_contention.suite);
       ("stream", Test_stream.suite);
