@@ -490,20 +490,207 @@ let bechamel_suite () =
       Format.printf "%-28s %16s@." name pretty)
     rows
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Parallel experiment runner: wall-clock at --jobs 1 vs --jobs N      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each scenario is one full driver fan-out (the same code path as
+   `tpc_sim sweep` / `tpc_sim chaos`).  It runs twice — sequentially and
+   on the domain pool — and the harness asserts the rendered cell lines
+   are byte-identical before reporting the speedup. *)
+
+type parallel_result = {
+  pr_name : string;
+  pr_cells : int;
+  pr_events : int;  (** total sim-kernel events processed, jobs=1 run *)
+  pr_wall_jobs1 : float;
+  pr_wall : float;
+  pr_identical : bool;
+}
+
+let sweep_scenario () =
+  let params =
+    {
+      Driver.sw_config = default_config;
+      sw_sets =
+        [ []; [ `Read_only ]; [ `Last_agent ]; [ `Read_only; `Early_ack ] ];
+      sw_concurrencies = [ 1; 2; 4; 8 ];
+      sw_n = 4;
+      sw_mixer = { Tpc.Mixer.default_cfg with Tpc.Mixer.txns = 300 };
+      sw_events = false;
+    }
+  in
+  fun ~jobs ->
+    let cells, _reg = Driver.sweep_cells ~jobs params in
+    let lines = List.map (fun c -> c.Driver.sc_line) cells in
+    let events =
+      List.fold_left
+        (fun acc c ->
+          acc + c.Driver.sc_stats.Simkernel.Engine.events_processed)
+        0 cells
+    in
+    (lines, events)
+
+let chaos_scenario () =
+  let n = 4 and txns = 60 and concurrency = 6 in
+  let config =
+    default_config
+    |> with_retries ~interval:25.0 ~max:8
+    |> with_prepare_retries 2 |> with_retry_backoff 2.0
+  in
+  let horizon =
+    float_of_int txns
+    *. Tpc.Mixer.default_cfg.Tpc.Mixer.base_interarrival
+    /. float_of_int concurrency
+  in
+  let params =
+    {
+      Driver.ch_config = config;
+      ch_tree = Workload.mixer_tree ~n ~opts:[] ();
+      ch_mixer = { Tpc.Mixer.default_cfg with Tpc.Mixer.txns; concurrency };
+      ch_seed0 = 1;
+      ch_seeds = 50;
+      ch_gen = { Faultlab.default_gen with Faultlab.horizon };
+      ch_plan = None;
+      ch_broken = false;
+      ch_shrink = true;
+      ch_protocol_flag = "pa";
+      ch_n = n;
+    }
+  in
+  fun ~jobs ->
+    let cells, _reg = Driver.chaos_cells ~jobs params in
+    let lines = List.map (fun c -> c.Driver.cc_line) cells in
+    let events =
+      List.fold_left
+        (fun acc c ->
+          acc + c.Driver.cc_stats.Simkernel.Engine.events_processed)
+        0 cells
+    in
+    (lines, events)
+
+let time_run f =
+  let t0 = Simkernel.Monotonic.now_ns () in
+  let r = f () in
+  (r, Simkernel.Monotonic.elapsed_seconds ~since:t0)
+
+let run_parallel_scenario ~jobs (name, scenario) =
+  let run = scenario () in
+  let (lines1, events), wall1 = time_run (fun () -> run ~jobs:1) in
+  let (lines_n, _), wall_n = time_run (fun () -> run ~jobs) in
+  {
+    pr_name = name;
+    pr_cells = List.length lines1;
+    pr_events = events;
+    pr_wall_jobs1 = wall1;
+    pr_wall = wall_n;
+    pr_identical = lines1 = lines_n;
+  }
+
+let speedup r =
+  if r.pr_wall > 0.0 then r.pr_wall_jobs1 /. r.pr_wall else nan
+
+let parallel_result_json ~jobs r =
+  Tpc.Json.Obj
+    [
+      ("name", Tpc.Json.String r.pr_name);
+      ("cells", Tpc.Json.Int r.pr_cells);
+      ("events", Tpc.Json.Int r.pr_events);
+      ("jobs", Tpc.Json.Int jobs);
+      ("wall_seconds_jobs1", Tpc.Json.Float r.pr_wall_jobs1);
+      ("wall_seconds", Tpc.Json.Float r.pr_wall);
+      ("speedup_vs_jobs1", Tpc.Json.Float (speedup r));
+      ( "events_per_second",
+        Tpc.Json.Float
+          (if r.pr_wall > 0.0 then float_of_int r.pr_events /. r.pr_wall
+           else nan) );
+      ("identical_to_jobs1", Tpc.Json.Bool r.pr_identical);
+    ]
+
+let parallel_bench ~jobs ~json_out () =
+  section
+    (Printf.sprintf
+       "Parallel experiment runner (jobs=%d, recommended=%d, cores=%d)" jobs
+       (Parallel.recommended_jobs ())
+       (Domain.recommended_domain_count ()));
+  let results =
+    List.map
+      (run_parallel_scenario ~jobs)
+      [ ("sweep-grid-16", sweep_scenario); ("chaos-50-seeds", chaos_scenario) ]
+  in
+  Format.printf "%-18s %-7s %-10s %-12s %-12s %-9s %s@." "scenario" "cells"
+    "events" "jobs=1 wall" "jobs=N wall" "speedup" "identical";
+  List.iter
+    (fun r ->
+      Format.printf "%-18s %-7d %-10d %-12.3f %-12.3f %-9.2f %s@." r.pr_name
+        r.pr_cells r.pr_events r.pr_wall_jobs1 r.pr_wall (speedup r)
+        (if r.pr_identical then "yes" else "NO"))
+    results;
+  if List.exists (fun r -> not r.pr_identical) results then begin
+    Format.printf
+      "@.FAILURE: parallel output differs from the sequential run.@.";
+    exit 1
+  end;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let report =
+        Tpc.Json.Obj
+          [
+            ("schema", Tpc.Json.String "tpc-bench-parallel/1");
+            ("jobs", Tpc.Json.Int jobs);
+            ( "recommended_jobs",
+              Tpc.Json.Int (Parallel.recommended_jobs ()) );
+            ("cores", Tpc.Json.Int (Domain.recommended_domain_count ()));
+            ( "scenarios",
+              Tpc.Json.List (List.map (parallel_result_json ~jobs) results) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Tpc.Json.to_string report ^ "\n");
+      close_out oc;
+      Format.printf "@.Wrote %s@." path);
   Format.printf
-    "Reproduction of: Samaras, Britton, Citron, Mohan - 'Two-Phase Commit \
-     Optimizations and Tradeoffs in the Commercial Environment' (ICDE 1993)@.";
-  table1 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  group_commit ();
-  lock_time ();
-  commit_share ();
-  contention ();
-  last_agent_crossover ();
-  failure_cases ();
-  ablation ();
-  figures ();
-  bechamel_suite ()
+    "@.Shape check: identical cell lines whatever the job count — the pool \
+     only reorders the work, never the results.@."
+
+let () =
+  let json_out = ref None in
+  let jobs = ref (Parallel.recommended_jobs ()) in
+  let parallel_only = ref false in
+  Arg.parse
+    [
+      ( "--json",
+        Arg.String (fun s -> json_out := Some s),
+        "FILE Write the parallel-runner report as JSON (schema \
+         tpc-bench-parallel/1)." );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N Domains for the parallel scenarios (default: recommended)." );
+      ( "--parallel-only",
+        Arg.Set parallel_only,
+        " Skip the paper tables and micro-benchmarks; run only the parallel \
+         runner scenarios." );
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
+    "dune exec bench/main.exe -- [--parallel-only] [--jobs N] [--json FILE]";
+  if not !parallel_only then begin
+    Format.printf
+      "Reproduction of: Samaras, Britton, Citron, Mohan - 'Two-Phase Commit \
+       Optimizations and Tradeoffs in the Commercial Environment' (ICDE \
+       1993)@.";
+    table1 ();
+    table2 ();
+    table3 ();
+    table4 ();
+    group_commit ();
+    lock_time ();
+    commit_share ();
+    contention ();
+    last_agent_crossover ();
+    failure_cases ();
+    ablation ();
+    figures ()
+  end;
+  parallel_bench ~jobs:!jobs ~json_out:!json_out ();
+  if not !parallel_only then bechamel_suite ()

@@ -103,6 +103,18 @@ let diagram_arg =
   let doc = "Render the message-sequence diagram." in
   Arg.(value & flag & info [ "diagram" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment runner (default: the machine's \
+     recommended domain count).  Results are collected per-cell and \
+     emitted in canonical order, so the output is byte-identical to \
+     --jobs 1."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.recommended_jobs ())
+    & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
 (* --- run -------------------------------------------------------------- *)
 
 let write_telemetry ~tree world trace_out events_out =
@@ -275,34 +287,20 @@ let group_term =
 
 (* Concurrency x optimization-set sweep over the concurrent workload engine.
    Emits one JSON line per cell so future runs can be tracked as a
-   machine-readable trajectory (BENCH_mixer.json). *)
-(* Sim-kernel profiling for one cell, appended to the cell's JSON line as a
-   "meta" stanza.  Kept out of Metrics.Agg on purpose: wall-clock timing is
-   nondeterministic, and Agg.to_json must stay bit-identical across
-   identical-seed runs. *)
-let meta_json (s : Simkernel.Engine.stats) =
-  let open Simkernel.Engine in
-  Tpc.Json.Obj
-    [
-      ("events_processed", Tpc.Json.Int s.events_processed);
-      ("events_scheduled", Tpc.Json.Int s.events_scheduled);
-      ("events_cancelled", Tpc.Json.Int s.events_cancelled);
-      ("max_queue_depth", Tpc.Json.Int s.max_queue_depth);
-      ("wall_seconds", Tpc.Json.Float s.wall_seconds);
-      ( "events_per_second",
-        Tpc.Json.Float
-          (if s.wall_seconds > 0.0 then
-             float_of_int s.events_processed /. s.wall_seconds
-           else 0.0) );
-    ]
-
+   machine-readable trajectory (BENCH_mixer.json).  Cells fan out across
+   --jobs worker domains and fan in by index, so stdout and the events
+   file are byte-identical whatever the job count; the wall-clock engine
+   profile (nondeterministic by nature) only ever goes to stderr. *)
 let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
-    read_prob interarrival lock_timeout seed group events_out progress =
+    read_prob interarrival lock_timeout seed group events_out progress jobs =
   if n < 2 then (
     Printf.eprintf "tpc_sim sweep: -n must be at least 2\n";
     exit 2);
   if txns < 1 then (
     Printf.eprintf "tpc_sim sweep: --txns must be at least 1\n";
+    exit 2);
+  if List.exists (fun c -> c < 1) concurrencies then (
+    Printf.eprintf "tpc_sim sweep: concurrency must be >= 1\n";
     exit 2);
   let parse_set s =
     String.split_on_char ',' s
@@ -318,72 +316,54 @@ let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
   let sets = [] :: List.map parse_set opt_sets in
   let total_cells = List.length sets * List.length concurrencies in
   let cells_done = ref 0 in
-  let started = Unix.gettimeofday () in
+  let started = Simkernel.Monotonic.now_ns () in
+  let params =
+    {
+      Driver.sw_config =
+        (default_config |> with_protocol protocol
+        |> (match group with
+           | Some (size, timeout) -> with_group_commit ~size ~timeout
+           | None -> Fun.id)
+        (* let deferred acks fall back no earlier than a typical
+           inter-arrival gap: real arrivals carry them first *)
+        |> with_implied_ack_delay
+             (Float.max default_config.implied_ack_delay interarrival));
+      sw_sets = sets;
+      sw_concurrencies = concurrencies;
+      sw_n = n;
+      sw_mixer =
+        {
+          Tpc.Mixer.concurrency = 1;
+          txns;
+          keyspace;
+          update_prob;
+          read_prob;
+          base_interarrival = interarrival;
+          lock_timeout;
+          seed;
+        };
+      sw_events = events_out <> None;
+    }
+  in
+  let progress_fn =
+    if progress then
+      Some
+        (fun label ->
+          incr cells_done;
+          Printf.eprintf "sweep: %d/%d cells done (%s) %.1fs elapsed\n%!"
+            !cells_done total_cells label
+            (Simkernel.Monotonic.elapsed_seconds ~since:started))
+    else None
+  in
+  let cells, _registry = Driver.sweep_cells ?progress:progress_fn ~jobs params in
   let events_chan = Option.map open_out events_out in
   List.iter
-    (fun opts ->
-      List.iter
-        (fun concurrency ->
-          if concurrency < 1 then (
-            Printf.eprintf "tpc_sim sweep: concurrency must be >= 1\n";
-            exit 2);
-          let config =
-            default_config |> with_protocol protocol |> with_opts opts
-            |> (match group with
-               | Some (size, timeout) -> with_group_commit ~size ~timeout
-               | None -> Fun.id)
-            (* let deferred acks fall back no earlier than a typical
-               inter-arrival gap: real arrivals carry them first *)
-            |> with_implied_ack_delay
-                 (Float.max default_config.implied_ack_delay interarrival)
-          in
-          let cfg =
-            {
-              Tpc.Mixer.concurrency;
-              txns;
-              keyspace;
-              update_prob;
-              read_prob;
-              base_interarrival = interarrival;
-              lock_timeout;
-              seed;
-            }
-          in
-          let tree = Workload.mixer_tree ~n ~opts () in
-          let agg, w = Tpc.Mixer.run ~config cfg tree in
-          let line =
-            match Tpc.Metrics.Agg.to_json_value agg with
-            | Tpc.Json.Obj fields ->
-                Tpc.Json.Obj
-                  (fields
-                  @ [
-                      ( "meta",
-                        meta_json (Simkernel.Engine.stats w.Tpc.Run.engine) );
-                    ])
-            | other -> other
-          in
-          print_endline (Tpc.Json.to_string line);
-          (match events_chan with
-          | Some oc ->
-              output_string oc
-                (Tpc.Json.to_string
-                   (Tpc.Json.Obj
-                      [
-                        ("type", Tpc.Json.String "cell");
-                        ("label", Tpc.Json.String agg.Tpc.Metrics.Agg.label);
-                        ("concurrency", Tpc.Json.Int concurrency);
-                        ("seed", Tpc.Json.Int seed);
-                      ])
-                ^ "\n");
-              output_string oc (Tpc.Telemetry.events_to_jsonl w.Tpc.Run.trace)
-          | None -> ());
-          incr cells_done;
-          if progress then
-            Printf.eprintf "sweep: %d/%d cells done (%s c=%d) %.1fs elapsed\n%!"
-              !cells_done total_cells agg.Tpc.Metrics.Agg.label concurrency
-              (Unix.gettimeofday () -. started))
-        concurrencies)
-    sets;
+    (fun (cell : Driver.sweep_cell) ->
+      print_endline cell.Driver.sc_line;
+      Option.iter
+        (fun oc -> output_string oc cell.Driver.sc_events)
+        events_chan)
+    cells;
   Option.iter close_out events_chan
 
 let sweep_term =
@@ -441,7 +421,7 @@ let sweep_term =
   Term.(
     const sweep_cmd $ protocol_arg $ opts_arg $ concurrencies $ n_arg $ txns
     $ keyspace $ update_prob $ read_prob $ interarrival $ lock_timeout
-    $ seed_arg $ group $ events_arg $ progress)
+    $ seed_arg $ group $ events_arg $ progress $ jobs_arg)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -608,7 +588,7 @@ let protocol_flag = function
   | Presumed_nothing -> "pn"
 
 let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
-    partitions drops jitters horizon plan_str broken no_shrink out =
+    partitions drops jitters horizon plan_str broken no_shrink out jobs =
   if n < 2 then (
     Printf.eprintf "tpc_sim chaos: -n must be at least 2\n";
     exit 2);
@@ -621,9 +601,7 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
     |> with_retries ~interval:25.0 ~max:8
     |> with_prepare_retries 2 |> with_retry_backoff 2.0
   in
-  let cfg seed = { Tpc.Mixer.default_cfg with txns; concurrency; seed } in
   let tree = Workload.mixer_tree ~n ~opts:(opts_to_list opts) () in
-  let nodes = Faultlab.tree_nodes tree in
   let horizon =
     if horizon > 0.0 then horizon
     else
@@ -644,63 +622,32 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
           exit 2)
     | None -> None
   in
+  let params =
+    {
+      Driver.ch_config = config;
+      ch_tree = tree;
+      ch_mixer = { Tpc.Mixer.default_cfg with txns; concurrency; seed = seed0 };
+      ch_seed0 = seed0;
+      ch_seeds = seeds;
+      ch_gen = gen_cfg;
+      ch_plan = fixed_plan;
+      ch_broken = broken;
+      ch_shrink = not no_shrink;
+      ch_protocol_flag = protocol_flag protocol;
+      ch_n = n;
+    }
+  in
+  let cells, _registry = Driver.chaos_cells ~jobs params in
+  (* fan-in renders in seed order: stdout/stderr match --jobs 1 exactly *)
   let out_chan = match out with Some path -> open_out path | None -> stdout in
   let violations = ref 0 in
-  for seed = seed0 to seed0 + seeds - 1 do
-    let plan =
-      match fixed_plan with
-      | Some p -> p
-      | None -> Faultlab.gen ~seed ~nodes gen_cfg
-    in
-    let agg, v =
-      Faultlab.run_case ~config ~broken_recovery:broken (cfg seed) tree plan
-    in
-    let violated = not (Faultlab.ok v) in
-    let minimized =
-      if violated && not no_shrink then begin
-        let check p =
-          let _, v' =
-            Faultlab.run_case ~config ~broken_recovery:broken (cfg seed) tree p
-          in
-          not (Faultlab.ok v')
-        in
-        let small = Faultlab.shrink ~check plan in
-        Printf.eprintf
-          "tpc_sim chaos: seed %d VIOLATION; minimized to %d event(s); replay \
-           with:\n\
-          \  tpc_sim chaos -p %s -n %d --seed %d --seeds 1 --txns %d -c %d%s \
-           --plan '%s'\n"
-          seed (List.length small) (protocol_flag protocol) n seed txns
-          concurrency
-          (if broken then " --broken-recovery" else "")
-          (Faultlab.to_string small);
-        Some small
-      end
-      else None
-    in
-    if violated then incr violations;
-    let line =
-      Tpc.Json.Obj
-        ([
-           ("seed", Tpc.Json.Int seed);
-           ("protocol", Tpc.Json.String (protocol_flag protocol));
-           ("plan", Tpc.Json.String (Faultlab.to_string plan));
-           ("ok", Tpc.Json.Bool (not violated));
-           ("committed", Tpc.Json.Int agg.Tpc.Metrics.Agg.committed);
-           ("aborted", Tpc.Json.Int agg.Tpc.Metrics.Agg.aborted);
-         ]
-        @ List.map
-            (fun (k, c) -> (k, Tpc.Json.Int c))
-            (Faultlab.verdict_fields v)
-        @
-        match minimized with
-        | Some small ->
-            [ ("minimized", Tpc.Json.String (Faultlab.to_string small)) ]
-        | None -> [])
-    in
-    output_string out_chan (Tpc.Json.to_string line ^ "\n");
-    flush out_chan
-  done;
+  List.iter
+    (fun (cell : Driver.chaos_cell) ->
+      if cell.Driver.cc_violated then incr violations;
+      Option.iter (Printf.eprintf "%s") cell.Driver.cc_repro;
+      output_string out_chan (cell.Driver.cc_line ^ "\n");
+      flush out_chan)
+    cells;
   if out <> None then close_out out_chan;
   Printf.eprintf "tpc_sim chaos: %d/%d seeds clean (%s, n=%d, txns=%d, c=%d)\n"
     (seeds - !violations) seeds (protocol_flag protocol) n txns concurrency;
@@ -772,7 +719,7 @@ let chaos_term =
   Term.(
     const chaos_cmd $ protocol_arg $ opts_arg $ n_arg $ seeds $ seed_arg $ txns
     $ concurrency $ crashes $ partitions $ drops $ jitters $ horizon $ plan
-    $ broken $ no_shrink $ out)
+    $ broken $ no_shrink $ out $ jobs_arg)
 
 (* --- command tree ------------------------------------------------------------- *)
 

@@ -543,12 +543,7 @@ let run_full ?(config = default_config) ?inject cfg tree =
   in
   let duration = last_completion in
   let flows = Trace.flows w.Run.trace in
-  let data_flows =
-    List.length
-      (List.filter
-         (function Trace.Send { protocol = false; _ } -> true | _ -> false)
-         (Trace.events w.Run.trace))
-  in
+  let data_flows = Trace.data_flows w.Run.trace in
   let force_ios =
     List.fold_left
       (fun acc wal -> acc + (Wal.Log.stats wal).Wal.Log.force_ios)

@@ -41,7 +41,7 @@ let all_wals w =
 let setup ?(config = default_config) tree =
   let engine = Simkernel.Engine.create () in
   let net = Net.create engine ~default_latency:config.latency () in
-  let trace = Trace.create () in
+  let trace = Trace.create ~keep_events:config.trace_events () in
   let registry = Obs.Registry.create () in
   let wal_config =
     { Wal.Log.io_latency = config.io_latency; group = config.group_commit }

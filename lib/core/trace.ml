@@ -42,12 +42,50 @@ type event =
   | Restart of { time : float; node : string }
   | Note of { time : float; node : string; text : string }
 
-type t = { mutable events : event list (* newest first *) }
+(* The aggregate counters the paper tabulates are maintained incrementally
+   on every [record]: the throughput engines read them once per run, and
+   with [keep_events = false] they are the only thing a trace costs — no
+   list cell per event, which is the dominant allocation of a sweep cell
+   once the engine itself stops boxing thunks. *)
+type t = {
+  keep_events : bool;
+  mutable events : event list; (* newest first; [] when not kept *)
+  mutable n_flows : int;
+  mutable n_data_flows : int;
+  mutable n_tm_writes : int;
+  mutable n_tm_forced : int;
+}
 
-let create () = { events = [] }
-let record t e = t.events <- e :: t.events
+let create ?(keep_events = true) () =
+  {
+    keep_events;
+    events = [];
+    n_flows = 0;
+    n_data_flows = 0;
+    n_tm_writes = 0;
+    n_tm_forced = 0;
+  }
+
+let keeps_events t = t.keep_events
+
+let record t e =
+  (match e with
+  | Send { protocol = true; _ } -> t.n_flows <- t.n_flows + 1
+  | Send { protocol = false; _ } -> t.n_data_flows <- t.n_data_flows + 1
+  | Log_write { rm = false; forced; _ } ->
+      t.n_tm_writes <- t.n_tm_writes + 1;
+      if forced then t.n_tm_forced <- t.n_tm_forced + 1
+  | _ -> ());
+  if t.keep_events then t.events <- e :: t.events
+
 let events t = List.rev t.events
-let clear t = t.events <- []
+
+let clear t =
+  t.events <- [];
+  t.n_flows <- 0;
+  t.n_data_flows <- 0;
+  t.n_tm_writes <- 0;
+  t.n_tm_forced <- 0
 
 let event_time = function
   | Send { time; _ }
@@ -67,10 +105,8 @@ let event_time = function
 (* Paper-convention counting                                           *)
 (* ------------------------------------------------------------------ *)
 
-let flows t =
-  List.length
-    (List.filter (function Send { protocol = true; _ } -> true | _ -> false)
-       t.events)
+let flows t = t.n_flows
+let data_flows t = t.n_data_flows
 
 let count_log_writes ?(include_rm = false) ?(forced_only = false) t =
   List.length
@@ -81,8 +117,8 @@ let count_log_writes ?(include_rm = false) ?(forced_only = false) t =
          | _ -> false)
        t.events)
 
-let tm_writes t = count_log_writes t
-let tm_forced_writes t = count_log_writes ~forced_only:true t
+let tm_writes t = t.n_tm_writes
+let tm_forced_writes t = t.n_tm_forced
 
 let node_flows t node =
   List.length

@@ -48,19 +48,39 @@ type event =
 
 type t
 
-val create : unit -> t
+val create : ?keep_events:bool -> unit -> t
+(** [keep_events] (default [true]): whether {!record} retains the event
+    itself.  With [keep_events:false] only the O(1) aggregate counters
+    ({!flows}, {!data_flows}, {!tm_writes}, {!tm_forced_writes}) are
+    maintained and {!events} stays empty — the mode for high-volume runs
+    (sweeps, chaos) where no consumer ever reads the timeline, saving one
+    list cell per event. *)
+
 val record : t -> event -> unit
 
+val keeps_events : t -> bool
+
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first; [[]] when the trace was created with
+    [keep_events:false]. *)
 
 val clear : t -> unit
+(** Drops retained events and resets every aggregate counter. *)
+
 val event_time : event -> float
 
-(** {2 Paper-convention counting} *)
+(** {2 Paper-convention counting}
+
+    {!flows}, {!data_flows}, {!tm_writes} and {!tm_forced_writes} are
+    incremental counters — O(1), available in both trace modes.  The
+    remaining counts scan the retained events and report 0/[None] under
+    [keep_events:false]. *)
 
 val flows : t -> int
 (** Protocol message flows ([Send] with [protocol = true]). *)
+
+val data_flows : t -> int
+(** Application-data messages ([Send] with [protocol = false]). *)
 
 val count_log_writes : ?include_rm:bool -> ?forced_only:bool -> t -> int
 val tm_writes : t -> int

@@ -137,6 +137,10 @@ type config = {
   implied_ack_delay : float;
       (** think time before the "next transaction" data message that carries
           implied and long-locks acknowledgments in single-transaction runs *)
+  trace_events : bool;
+      (** keep the full event timeline in the trace; [false] maintains
+          only the aggregate counters (high-volume sweeps with no
+          timeline consumer) *)
 }
 
 let default_config =
@@ -155,6 +159,7 @@ let default_config =
     prepare_retries = 0;
     retry_backoff = 1.0;
     implied_ack_delay = 2.0;
+    trace_events = true;
   }
 
 (** {2 List-based options API}
@@ -249,6 +254,7 @@ let with_opts_record opts cfg = { cfg with opts }
 let with_faults faults cfg = { cfg with faults }
 let with_latency latency cfg = { cfg with latency }
 let with_io_latency io_latency cfg = { cfg with io_latency }
+let with_trace_events trace_events cfg = { cfg with trace_events }
 
 let with_group_commit ~size ~timeout cfg =
   { cfg with group_commit = Some { Wal.Log.size; timeout } }

@@ -161,6 +161,10 @@ type config = {
   implied_ack_delay : float;
       (** think time before the "next transaction" data message that carries
           implied and long-locks acknowledgments in single-transaction runs *)
+  trace_events : bool;
+      (** keep the full event timeline in the trace ([true] by default);
+          [false] maintains only the O(1) aggregate counters — the mode
+          for high-volume sweeps where nothing reads the timeline *)
 }
 
 val default_config : config
@@ -173,6 +177,7 @@ val with_opts_record : opts -> config -> config
 val with_faults : fault list -> config -> config
 val with_latency : float -> config -> config
 val with_io_latency : float -> config -> config
+val with_trace_events : bool -> config -> config
 val with_group_commit : size:int -> timeout:float -> config -> config
 val without_group_commit : config -> config
 val with_retries : interval:float -> max:int -> config -> config

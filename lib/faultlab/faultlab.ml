@@ -345,13 +345,18 @@ let audit (w : Tpc.Run.world) summaries =
     v_in_doubt = !in_doubt_count;
   }
 
-let run_case ?config ?(broken_recovery = false) ?jitter_seed mix tree plan =
+let run_case_full ?config ?(broken_recovery = false) ?jitter_seed mix tree plan
+    =
   let agg, w, summaries =
     Tpc.Mixer.run_full ?config
       ~inject:(inject ~broken_recovery ?jitter_seed plan)
       mix tree
   in
-  (agg, audit w summaries)
+  (agg, audit w summaries, w)
+
+let run_case ?config ?broken_recovery ?jitter_seed mix tree plan =
+  let agg, v, _w = run_case_full ?config ?broken_recovery ?jitter_seed mix tree plan in
+  (agg, v)
 
 (* ------------------------------------------------------------------ *)
 (* Schedule shrinking                                                  *)

@@ -122,6 +122,18 @@ val run_case :
   Tpc.Metrics.Agg.t * verdict
 (** Build the world, inject the plan, run to quiescence, audit. *)
 
+val run_case_full :
+  ?config:Tpc.Types.config ->
+  ?broken_recovery:bool ->
+  ?jitter_seed:int ->
+  Tpc.Mixer.cfg ->
+  Tpc.Types.tree ->
+  plan ->
+  Tpc.Metrics.Agg.t * verdict * Tpc.Run.world
+(** {!run_case}, also exposing the quiesced world — the parallel driver
+    reads its engine stats and folds its telemetry registry into a
+    sweep-wide one. *)
+
 (** {2 Schedule shrinking} *)
 
 val shrink : check:(plan -> bool) -> plan -> plan

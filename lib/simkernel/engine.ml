@@ -3,7 +3,13 @@ exception Negative_delay of float
 (* The agenda is a binary min-heap ordered by (time, seq).  The [seq]
    tiebreak gives FIFO semantics for same-time events, which is what makes
    runs deterministic. *)
-type cell = { time : float; seq : int; mutable thunk : (unit -> unit) option }
+
+(* A fired or cancelled cell holds [no_thunk] (compared physically) rather
+   than an option: scheduling is the hottest allocation site in the whole
+   simulator, and the sentinel saves one [Some] box per event. *)
+let no_thunk () = ()
+
+type cell = { time : float; seq : int; mutable thunk : unit -> unit }
 
 (* The handle IS the heap cell, so cancellation is O(1): clear the thunk
    and let [step] discard the dead cell when it surfaces. *)
@@ -33,7 +39,7 @@ type t = {
   mutable wall : float;
 }
 
-let dummy_cell = { time = 0.0; seq = -1; thunk = None }
+let dummy_cell = { time = 0.0; seq = -1; thunk = no_thunk }
 
 let create () =
   {
@@ -75,14 +81,15 @@ let rec sift_up t i =
     end
   end
 
+(* no [ref] scratch cell: this runs once per pop, on the hot path *)
 let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && cell_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && cell_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let s = if l < t.size && cell_lt t.heap.(l) t.heap.(i) then l else i in
+  let s = if r < t.size && cell_lt t.heap.(r) t.heap.(s) then r else s in
+  if s <> i then begin
+    swap t i s;
+    sift_down t s
   end
 
 let grow t =
@@ -108,7 +115,7 @@ let schedule_at t ~time f =
   if time < t.clock then raise (Negative_delay (time -. t.clock));
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let cell = { time; seq; thunk = Some f } in
+  let cell = { time; seq; thunk = f } in
   push t cell;
   t.live <- t.live + 1;
   if t.live > t.queue_hwm then t.queue_hwm <- t.live;
@@ -122,8 +129,8 @@ let schedule t ~delay f =
    lazily when it reaches the top.  Cancelling a fired or already-cancelled
    event is a no-op ([step] clears the thunk before firing). *)
 let cancel t (c : event) =
-  if c.thunk <> None then begin
-    c.thunk <- None;
+  if c.thunk != no_thunk then begin
+    c.thunk <- no_thunk;
     t.live <- t.live - 1;
     t.cancelled <- t.cancelled + 1
   end
@@ -134,26 +141,34 @@ let step t =
   if t.size = 0 then false
   else begin
     let cell = pop t in
-    (match cell.thunk with
-    | None -> () (* cancelled *)
-    | Some f ->
-        cell.thunk <- None (* a late cancel of this handle is a no-op *);
-        t.live <- t.live - 1;
-        t.clock <- cell.time;
-        t.processed <- t.processed + 1;
-        f ());
+    let f = cell.thunk in
+    if f != no_thunk then begin
+      cell.thunk <- no_thunk (* a late cancel of this handle is a no-op *);
+      t.live <- t.live - 1;
+      t.clock <- cell.time;
+      t.processed <- t.processed + 1;
+      f ()
+    end;
     true
   end
 
+(* One monotonic timestamp pair per [run]/[run_until] call — not per event
+   batch — keeps the profiling overhead off the event hot path, and the
+   monotonic clock keeps wall_seconds immune to NTP steps. *)
 let run t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic.now_ns () in
   let rec loop () = if step t then loop () in
   loop ();
-  t.wall <- t.wall +. (Unix.gettimeofday () -. t0)
+  t.wall <- t.wall +. Monotonic.elapsed_seconds ~since:t0
 
-let rec run_until t horizon =
-  if t.size > 0 && t.heap.(0).time <= horizon then begin
-    ignore (step t);
-    run_until t horizon
-  end
-  else if t.clock < horizon then t.clock <- horizon
+let run_until t horizon =
+  let t0 = Monotonic.now_ns () in
+  let rec loop () =
+    if t.size > 0 && t.heap.(0).time <= horizon then begin
+      ignore (step t);
+      loop ()
+    end
+    else if t.clock < horizon then t.clock <- horizon
+  in
+  loop ();
+  t.wall <- t.wall +. Monotonic.elapsed_seconds ~since:t0

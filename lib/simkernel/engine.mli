@@ -52,8 +52,10 @@ type stats = {
   events_cancelled : int;  (** {!cancel} calls that hit a pending event *)
   max_queue_depth : int;  (** high-water mark of pending (live) events *)
   wall_seconds : float;
-      (** host wall-clock time spent inside {!run} — the only non-virtual
-          quantity in the simulator *)
+      (** host time spent inside {!run} and {!run_until} — the only
+          non-virtual quantity in the simulator.  Measured on the
+          monotonic clock (one timestamp pair per call), so it never
+          jumps under NTP adjustment. *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "tpc_monotonic_now_ns"
+
+let elapsed_seconds ~since =
+  Int64.to_float (Int64.sub (now_ns ()) since) /. 1e9

@@ -1,0 +1,12 @@
+(** Monotonic host clock for profiling.
+
+    [Unix.gettimeofday] is wall time and jumps when NTP steps the clock;
+    every elapsed-time measurement in the simulator goes through this
+    module instead ([clock_gettime(CLOCK_MONOTONIC)] underneath). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin; strictly non-decreasing
+    within a process. *)
+
+val elapsed_seconds : since:int64 -> float
+(** Seconds elapsed since a [now_ns] reading. *)

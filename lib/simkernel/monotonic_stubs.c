@@ -1,0 +1,16 @@
+/* Monotonic wall-clock for engine profiling.
+
+   CLOCK_MONOTONIC never jumps under NTP adjustment, unlike
+   gettimeofday(); the engine's wall_seconds counters must measure real
+   elapsed host time even on machines with stepping clocks. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value tpc_monotonic_now_ns(value unit)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -27,4 +27,6 @@ let () =
       ("mixer", Test_mixer.suite);
       ("obs", Test_obs.suite);
       ("telemetry", Test_telemetry.suite);
+      ("parallel", Test_parallel.suite);
+      ("driver", Test_driver.suite);
     ]

@@ -1,0 +1,72 @@
+(* The Parallel combinator: ordered fan-in, deterministic exception
+   choice, in-caller jobs=1 fallback, pool reuse. *)
+
+let check_ints = Alcotest.(check (list int))
+
+let test_map_ordering () =
+  let xs = List.init 100 Fun.id in
+  let expect = List.map (fun x -> x * x) xs in
+  check_ints "jobs=4 preserves input order" expect
+    (Parallel.map ~jobs:4 (fun x -> x * x) xs);
+  check_ints "jobs=1 matches" expect (Parallel.map ~jobs:1 (fun x -> x * x) xs)
+
+let test_empty_and_singleton () =
+  check_ints "empty list" [] (Parallel.map ~jobs:4 (fun x -> x) []);
+  check_ints "singleton" [ 7 ] (Parallel.map ~jobs:4 (fun x -> x + 1) [ 6 ])
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  (* several items fail; the re-raised exception must always be the one
+     from the lowest failing index, whatever domain got there first *)
+  let run () =
+    Parallel.map ~jobs:4
+      (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+      (List.init 32 Fun.id)
+  in
+  for _ = 1 to 5 do
+    match run () with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom i -> Alcotest.(check int) "lowest failing index" 2 i
+  done
+
+let test_jobs1_in_calling_domain () =
+  let self = Domain.self () in
+  let domains = Parallel.map ~jobs:1 (fun _ -> Domain.self ()) [ 1; 2; 3 ] in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "jobs=1 runs in the calling domain" true (d = self))
+    domains
+
+let test_pool_reuse () =
+  let pool = Parallel.create ~jobs:3 in
+  Alcotest.(check int) "pool job count" 3 (Parallel.jobs pool);
+  let a = Parallel.map_pool pool (fun x -> x + 1) [ 1; 2; 3 ] in
+  let b = Parallel.map_pool pool string_of_int [ 4; 5 ] in
+  (* a batch that raises must not poison the pool for the next batch *)
+  (try ignore (Parallel.map_pool pool (fun _ -> raise Exit) [ 0 ])
+   with Exit -> ());
+  let c = Parallel.map_pool pool (fun x -> x * 10) [ 6; 7 ] in
+  Parallel.shutdown pool;
+  check_ints "first batch" [ 2; 3; 4 ] a;
+  Alcotest.(check (list string)) "second batch" [ "4"; "5" ] b;
+  check_ints "post-exception batch" [ 60; 70 ] c
+
+let test_jobs_clamped () =
+  let pool = Parallel.create ~jobs:0 in
+  Alcotest.(check int) "jobs clamped to 1" 1 (Parallel.jobs pool);
+  Parallel.shutdown pool;
+  Alcotest.(check bool) "recommended_jobs positive" true
+    (Parallel.recommended_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "map ordering" `Quick test_map_ordering;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "lowest-index exception" `Quick
+      test_exception_lowest_index;
+    Alcotest.test_case "jobs=1 in calling domain" `Quick
+      test_jobs1_in_calling_domain;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "jobs clamping" `Quick test_jobs_clamped;
+  ]
