@@ -16,18 +16,26 @@ open Tpc.Types
 
 (* --- shared argument parsing ---------------------------------------- *)
 
+(* Parsing goes through the protocol registry, so a protocol registered
+   with [Tpc.Protocol.register] is immediately selectable by name. *)
 let protocol_conv =
-  let parse = function
-    | "basic" -> Ok Basic
-    | "pa" | "presumed-abort" -> Ok Presumed_abort
-    | "pn" | "presumed-nothing" -> Ok Presumed_nothing
-    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (basic|pa|pn)" s))
+  let parse s =
+    match Tpc.Protocol.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown protocol %S (%s)" s
+               (String.concat "|" (Tpc.Protocol.flags ()))))
   in
   let print ppf p = Format.pp_print_string ppf (protocol_to_string p) in
   Arg.conv (parse, print)
 
 let protocol_arg =
-  let doc = "Commit protocol: basic, pa (presumed abort) or pn (presumed nothing)." in
+  let doc =
+    "Commit protocol: basic, pa (presumed abort), pn (presumed nothing), or \
+     the name of any registered protocol."
+  in
   Arg.(value & opt protocol_conv Presumed_abort & info [ "p"; "protocol" ] ~doc)
 
 let opt_names = List.map opt_to_string all_opts
@@ -52,9 +60,8 @@ let parse_opt_names ~on_unknown names =
     names
 
 let build_opts names =
-  opts_of_list
-    (parse_opt_names names ~on_unknown:(fun name ->
-         Printf.eprintf "warning: unknown optimization %S ignored\n" name))
+  parse_opt_names names ~on_unknown:(fun name ->
+      Printf.eprintf "warning: unknown optimization %S ignored\n" name)
 
 let n_arg =
   let doc = "Number of members in the commit tree." in
@@ -140,14 +147,15 @@ let make_tree shape seed n opt m =
   | _, _ -> Workload.flat ~n ()
 
 let pick_cost_opt opts =
-  if opts.read_only then Some Tpc.Cost_model.Read_only_opt
-  else if opts.last_agent then Some Tpc.Cost_model.Last_agent_opt
-  else if opts.unsolicited_vote then Some Tpc.Cost_model.Unsolicited_vote_opt
-  else if opts.leave_out then Some Tpc.Cost_model.Leave_out_opt
-  else if opts.shared_log then Some Tpc.Cost_model.Shared_log_opt
-  else if opts.long_locks then Some Tpc.Cost_model.Long_locks_opt
-  else if opts.vote_reliable then Some Tpc.Cost_model.Vote_reliable_opt
-  else if opts.wait_for_outcome then Some Tpc.Cost_model.Wait_for_outcome_opt
+  let on o = List.mem (o : opt) opts in
+  if on `Read_only then Some Tpc.Cost_model.Read_only_opt
+  else if on `Last_agent then Some Tpc.Cost_model.Last_agent_opt
+  else if on `Unsolicited_vote then Some Tpc.Cost_model.Unsolicited_vote_opt
+  else if on `Leave_out then Some Tpc.Cost_model.Leave_out_opt
+  else if on `Shared_log then Some Tpc.Cost_model.Shared_log_opt
+  else if on `Long_locks then Some Tpc.Cost_model.Long_locks_opt
+  else if on `Vote_reliable then Some Tpc.Cost_model.Vote_reliable_opt
+  else if on `Wait_for_outcome then Some Tpc.Cost_model.Wait_for_outcome_opt
   else None
 
 let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram
@@ -161,7 +169,7 @@ let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram
       exit 2);
   let opts = build_opts opt_names in
   let config =
-    default_config |> with_protocol protocol |> with_opts_record opts
+    default_config |> with_protocol protocol |> with_opts opts
     |> with_latency latency
   in
   let tree = make_tree shape seed n (pick_cost_opt opts) m in
@@ -433,9 +441,9 @@ let stats_cmd protocol opt_names n txns concurrency seed =
     Printf.eprintf "tpc_sim stats: -n must be at least 2\n";
     exit 2);
   let opts = build_opts opt_names in
-  let config = default_config |> with_protocol protocol |> with_opts_record opts in
+  let config = default_config |> with_protocol protocol |> with_opts opts in
   let cfg = { Tpc.Mixer.default_cfg with txns; concurrency; seed } in
-  let tree = Workload.mixer_tree ~n ~opts:(opts_to_list opts) () in
+  let tree = Workload.mixer_tree ~n ~opts () in
   let agg, w = Tpc.Mixer.run ~config cfg tree in
   let s = Simkernel.Engine.stats w.Tpc.Run.engine in
   let open Simkernel.Engine in
@@ -582,11 +590,6 @@ let crash_term =
 
 (* --- chaos ------------------------------------------------------------------ *)
 
-let protocol_flag = function
-  | Basic -> "basic"
-  | Presumed_abort -> "pa"
-  | Presumed_nothing -> "pn"
-
 let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
     partitions drops jitters horizon plan_str broken no_shrink out jobs =
   if n < 2 then (
@@ -597,11 +600,11 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
     exit 2);
   let opts = build_opts opt_names in
   let config =
-    default_config |> with_protocol protocol |> with_opts_record opts
+    default_config |> with_protocol protocol |> with_opts opts
     |> with_retries ~interval:25.0 ~max:8
     |> with_prepare_retries 2 |> with_retry_backoff 2.0
   in
-  let tree = Workload.mixer_tree ~n ~opts:(opts_to_list opts) () in
+  let tree = Workload.mixer_tree ~n ~opts () in
   let horizon =
     if horizon > 0.0 then horizon
     else
@@ -633,7 +636,7 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
       ch_plan = fixed_plan;
       ch_broken = broken;
       ch_shrink = not no_shrink;
-      ch_protocol_flag = protocol_flag protocol;
+      ch_protocol_flag = Tpc.Protocol.flag protocol;
       ch_n = n;
     }
   in
@@ -650,7 +653,7 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
     cells;
   if out <> None then close_out out_chan;
   Printf.eprintf "tpc_sim chaos: %d/%d seeds clean (%s, n=%d, txns=%d, c=%d)\n"
-    (seeds - !violations) seeds (protocol_flag protocol) n txns concurrency;
+    (seeds - !violations) seeds (Tpc.Protocol.flag protocol) n txns concurrency;
   if !violations > 0 then exit 1
 
 let chaos_term =

@@ -1,0 +1,53 @@
+(** Wire protocol of the commit engine.
+
+    One network message (one {e flow} in the paper's accounting) carries a
+    list of payloads: piggybacking is how the implied-acknowledgment,
+    long-locks and chained-transaction optimizations avoid flows. *)
+
+(** A heuristic decision that turned out to contradict the real outcome,
+    reported upward on the acknowledgment path. *)
+type damage_report = {
+  d_node : string;  (** where the heuristic decision was taken *)
+  d_action : Types.outcome;  (** what it unilaterally did *)
+  d_outcome : Types.outcome;  (** what the transaction actually decided *)
+}
+
+type payload =
+  | Prepare of {
+      txn : string;
+      long_locks : bool;  (** coordinator requests deferred acknowledgment *)
+    }
+  | Vote_msg of {
+      txn : string;
+      vote : Types.vote;
+      delegation : bool;
+          (** true on the coordinator's own YES sent to a last agent: the
+              receiver now owns the commit decision *)
+      unsolicited : bool;
+      implied_ack : bool;
+          (** the voter is a reliable resource whose acknowledgment will be
+              implied rather than sent (Vote Reliable, Figure 8) *)
+    }
+  | Decision_msg of { txn : string; outcome : Types.outcome }
+  | Ack_msg of {
+      txn : string;
+      damage : damage_report list;
+      pending : bool;  (** wait-for-outcome: subtree resolution in progress *)
+    }
+  | Data of { txn : string; info : string }
+      (** application data; begins work at the receiver and serves as the
+          implied acknowledgment for any outcome the receiver was awaiting *)
+  | Inquiry of { txn : string }
+      (** PA subordinate-initiated recovery: "what happened to [txn]?" *)
+  | Inquiry_reply of { txn : string; outcome : Types.outcome option }
+      (** [None] = no information (PA: presume abort) *)
+
+val payload_txn : payload -> string
+(** The transaction a payload belongs to. *)
+
+val payload_label : payload -> string
+(** Human-readable label, e.g. ["Prepare(long-locks)"], ["Vote YES"] - the
+    vocabulary of traces and sequence diagrams. *)
+
+val bundle_label : payload list -> string
+(** Labels of a piggybacked bundle joined with [" + "]. *)

@@ -1,5 +1,7 @@
 (** The simulated network carrying 2PC payload bundles. *)
 
-include Netsim.Make (struct
+module Payload = struct
   type t = Msg.payload
-end)
+end
+
+include Netsim.Make (Payload)

@@ -1,0 +1,10 @@
+(** The simulated network carrying 2PC payload bundles: {!Netsim.Make}
+    instantiated at {!Msg.payload}.  See netsim.mli for the delivery
+    model (per-pair FIFO, partitions, crash drops, jitter hooks) and the
+    flow-counting statistics. *)
+
+module Payload : sig
+  type t = Msg.payload
+end
+
+include module type of Netsim.Make (Payload)

@@ -1,10 +1,15 @@
-(** Per-node 2PC state machine.
+(** Per-node 2PC state machine: the protocol-agnostic plumbing.
 
     One participant is a transaction manager plus its local resource manager
-    (a {!Kvstore.t}).  It implements the baseline protocol, Presumed Abort
-    and Presumed Nothing, and all the optimizations of Section 4, driven
-    entirely by network deliveries, log-force completions and timers on the
-    shared virtual clock.
+    (a {!Kvstore.t}).  This module owns everything the commit protocols
+    share - timers, retransmission with backoff, crash/restart/amnesia,
+    piggyback deferral, phase telemetry, the Section 4 optimizations -
+    driven entirely by network deliveries, log-force completions and timers
+    on the shared virtual clock.  Everything protocol-specific (what Basic
+    2PC, Presumed Abort and Presumed Nothing do differently) is delegated
+    to the {!Protocol_intf.t} resolved from the configuration at {!create}
+    time, so a protocol registered with {!Protocol.register} runs on this
+    plumbing unchanged.
 
     The protocol follows the message/logging schedules of the paper's
     figures; DESIGN.md section 3 states the exact counting conventions the
@@ -77,6 +82,10 @@ type t = {
   name : string;
   profile : profile;
   cfg : config;
+  proto : Protocol_intf.t;  (* resolved from [cfg.protocol] at creation *)
+  mutable ops : Protocol_intf.ops option;
+      (* the capability record handed to protocol hooks; built lazily
+         because its closures need functions defined below [create] *)
   engine : Simkernel.Engine.t;
   net : Net.t;
   log : Wal.Log.t;
@@ -114,6 +123,8 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     name = profile.p_name;
     profile;
     cfg;
+    proto = Protocol.resolve cfg.protocol;
+    ops = None;
     engine;
     net;
     log = wal;
@@ -262,6 +273,13 @@ let tm_append t ~txn kind =
     (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
   Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.name kind)
 
+(* Force a protocol-prescribed record sequence in order, then continue:
+   how [p_voter_log] and [p_delegation_log] reach the disk. *)
+let rec force_records t ~txn records k =
+  match records with
+  | [] -> k ()
+  | kind :: rest -> tm_force t ~txn kind (fun () -> force_records t ~txn rest k)
+
 (* ------------------------------------------------------------------ *)
 (* Crash injection                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -297,6 +315,28 @@ and maybe_crash t point =
       | None -> ());
       true
   | _ -> false
+
+(* The capability record protocol hooks act through.  Memoized on first
+   use; the closures check crash state and epochs themselves, so one
+   record stays valid across restarts. *)
+and ops_of t =
+  match t.ops with
+  | Some o -> o
+  | None ->
+      let o =
+        {
+          Protocol_intf.op_send = (fun ~dst payloads -> send t ~dst payloads);
+          op_force = (fun ~txn kind k -> tm_force t ~txn kind k);
+          op_append = (fun ~txn kind -> tm_append t ~txn kind);
+          op_note =
+            (fun text ->
+              trace t (Trace.Note { time = now t; node = t.name; text }));
+          op_crash_at = (fun point -> maybe_crash t point);
+          op_now = (fun () -> now t);
+        }
+      in
+      t.ops <- Some o;
+      o
 
 (* ------------------------------------------------------------------ *)
 (* Transaction state                                                   *)
@@ -380,12 +420,9 @@ and begin_commit t ~txn =
   let st = get_or_new_txn t txn in
   set_phase t st Ph_voting;
   st.children <- participating_children t ~txn;
-  if t.cfg.protocol = Presumed_nothing then
-    (* PN: the coordinator must remember its subordinates before any
-       Prepare leaves the node (Figure 3). *)
-    tm_force t ~txn Wal.Log_record.Commit_pending (fun () ->
-        if not (maybe_crash t Cp_after_commit_pending) then start_phase1 t st)
-  else start_phase1 t st
+  t.proto.p_begin_commit (ops_of t) ~txn ~root:true
+    ~has_children:(st.children <> [])
+    ~k:(fun () -> start_phase1 t st)
 
 and designate_last_agent t st =
   (* Pick the final participating child as the last agent; Run orders
@@ -656,11 +693,9 @@ and delegate_to_last_agent t st agent =
     start_delegation_timer t st send_delegation
   in
   (* The delegating node must be durably prepared before giving the decision
-     away.  PN already forced commit-pending, which (with the buffered RM
-     records) is its durability point; PA/basic force a Prepared record. *)
-  if t.cfg.protocol = Presumed_nothing then proceed ()
-  else
-    tm_force t ~txn:st.txn Wal.Log_record.Prepared (fun () -> proceed ())
+     away; the protocol says which records make it so (PN: none - its
+     commit-pending force already was the durability point). *)
+  force_records t ~txn:st.txn t.proto.p_delegation_log proceed
 
 and vote_yes_up t st parent =
   let reliable =
@@ -716,13 +751,10 @@ and vote_yes_up t st parent =
       end
     end
   in
-  (* PN subordinates durably record their acknowledgment obligation (the
-     agent record) in addition to the prepared record: Table 2 charges them
-     four writes, three forced. *)
-  if t.cfg.protocol = Presumed_nothing then
-    tm_force t ~txn:st.txn Wal.Log_record.Agent (fun () ->
-        tm_force t ~txn:st.txn Wal.Log_record.Prepared send_vote)
-  else tm_force t ~txn:st.txn Wal.Log_record.Prepared send_vote
+  (* The protocol prescribes what a YES voter forces before the vote may
+     leave the node (PN adds its agent ack-obligation record: Table 2
+     charges its subordinates four writes, three forced). *)
+  force_records t ~txn:st.txn t.proto.p_voter_log send_vote
 
 (* Unsolicited vote (leaf server that knows it is finished): prepare
    spontaneously and send YES without waiting for Prepare. *)
@@ -768,21 +800,20 @@ and decide t st outcome =
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
   if maybe_crash t Cp_before_decision_log then ()
   else
-    match (outcome, t.cfg.protocol) with
-    | Committed, _ ->
-        tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
+    match t.proto.p_decision_log outcome with
+    | Protocol_intf.Log_force kind ->
+        tm_force t ~txn:st.txn kind (fun () ->
             st.decision_durable <- true;
             if not (maybe_crash t Cp_after_decision_log) then
               after_decision_durable t st)
-    | Aborted, Presumed_abort ->
-        (* PA aborts log nothing at the decision maker *)
+    | Protocol_intf.Log_append kind ->
+        tm_append t ~txn:st.txn kind;
         st.decision_durable <- true;
         after_decision_durable t st
-    | Aborted, (Basic | Presumed_nothing) ->
-        tm_force t ~txn:st.txn Wal.Log_record.Aborted (fun () ->
-            st.decision_durable <- true;
-            if not (maybe_crash t Cp_after_decision_log) then
-              after_decision_durable t st)
+    | Protocol_intf.Log_none ->
+        (* nothing durable: the presumption carries the outcome (PA abort) *)
+        st.decision_durable <- true;
+        after_decision_durable t st
 
 and after_decision_durable t st =
   let outcome = Option.get st.outcome in
@@ -838,23 +869,17 @@ and propagate_decision t st outcome =
       send t ~dst:ch.ch_profile.p_name
         [ Msg.Decision_msg { txn = st.txn; outcome } ];
       (match Option.get st.outcome with
-      | Committed when not (ack_expected_from t ch) -> ch.ch_acked <- true
-      | Aborted when t.cfg.protocol = Presumed_abort ->
-          (* PA: abort acknowledgments are not required *)
-          ch.ch_acked <- true
-      | Aborted
-        when (ch.ch_vote = None || ch.ch_presumed_no)
-             && t.cfg.protocol = Presumed_nothing ->
-          (* a silent member may be crashed holding a forced prepare whose
-             vote never reached us; PN has no presumption it could fall back
-             on, so the abort must be delivered and acknowledged (PA and
-             Basic members resolve this themselves by inquiring) *)
-          start_ack_retry t st ch
-      | Aborted when ch.ch_vote = None || ch.ch_vote = Some Vote_no ->
-          (* a member that never voted (or voted NO and forgot) cannot be in
-             doubt: the abort notification is fire-and-forget *)
-          ch.ch_acked <- true
-      | Committed | Aborted -> start_ack_retry t st ch))
+      | Committed ->
+          if ack_expected_from t ch then start_ack_retry t st ch
+          else ch.ch_acked <- true
+      | Aborted ->
+          (* the protocol says which abort notifications must be confirmed
+             (PA: none; PN: all but a real NO voter; basic: YES voters) *)
+          if
+            t.proto.p_abort_ack_required ~vote:ch.ch_vote
+              ~presumed_no:ch.ch_presumed_no
+          then start_ack_retry t st ch
+          else ch.ch_acked <- true))
     recipients;
   set_phase t st Ph_propagating;
   (* early acknowledgment upstream, if the policy allows it *)
@@ -971,8 +996,8 @@ and maybe_finished t st =
           (* our parent elided our ack: forget immediately *)
           finish_with_end t st
         end
-        else if outcome = Aborted && t.cfg.protocol = Presumed_abort then
-          (* PA: aborts are not acknowledged *)
+        else if outcome = Aborted && not t.proto.p_ack_on_abort then
+          (* the presumption stands in for the acknowledgment (PA) *)
           end_txn t st outcome
         else begin
           if not (maybe_crash t Cp_before_ack) then begin
@@ -1148,19 +1173,7 @@ and start_indoubt_timer ?(attempt = 0) t st =
                | None -> false
              in
              if st.phase = Ph_in_doubt && still_current then begin
-               (match t.cfg.protocol with
-               | Presumed_abort | Basic ->
-                   List.iter
-                     (fun dst -> send t ~dst [ Msg.Inquiry { txn = st.txn } ])
-                     targets
-               | Presumed_nothing ->
-                   trace t
-                     (Trace.Note
-                        {
-                          time = now t;
-                          node = t.name;
-                          text = "in doubt: awaiting coordinator recovery (PN)";
-                        }));
+               t.proto.p_indoubt_tick (ops_of t) ~txn:st.txn ~targets;
                start_indoubt_timer ~attempt:(attempt + 1) t st
              end))
 
@@ -1202,12 +1215,12 @@ and handle_prepare t ~src ~txn ~long_locks =
             | None -> ch)
           (participating_children t ~txn);
       if maybe_crash t Cp_on_prepare then ()
-      else if t.cfg.protocol = Presumed_nothing && st.children <> [] then
-        (* a PN cascaded coordinator logs commit-pending before
-           propagating Prepare (Figure 3) *)
-        tm_force t ~txn Wal.Log_record.Commit_pending (fun () ->
-            start_phase1 t st)
-      else start_phase1 t st
+      else
+        (* a cascaded coordinator runs the protocol's pre-voting logging
+           too (PN logs commit-pending before propagating Prepare) *)
+        t.proto.p_begin_commit (ops_of t) ~txn ~root:false
+          ~has_children:(st.children <> [])
+          ~k:(fun () -> start_phase1 t st)
     end
     else if st.parent <> Some src then begin
       (* Two participants initiated commit processing independently for the
@@ -1329,9 +1342,9 @@ and handle_decision t ~src ~txn outcome =
       if first_time && outcome = Aborted then
         (* roll back any uncommitted work and release its locks *)
         Kvstore.abort t.kv ~txn (fun () -> ());
-      (* PA aborts are not acknowledged; everything else is, so that a
-         retrying coordinator can forget the transaction. *)
-      if not (outcome = Aborted && t.cfg.protocol = Presumed_abort) then
+      (* unacknowledged aborts ride the presumption (PA); everything else
+         is confirmed so that a retrying coordinator can forget the txn *)
+      if outcome = Committed || t.proto.p_ack_on_abort then
         send t ~dst:src [ Msg.Ack_msg { txn; damage = []; pending = false } ]
   | Some st -> (
       match st.phase with
@@ -1353,20 +1366,19 @@ and subordinate_decision t st outcome =
       if maybe_crash t Cp_after_decision_received then ()
       else begin
         set_phase t st Ph_deciding;
-        (match (outcome, t.cfg.protocol) with
-        | Committed, _ ->
-            tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
+        (match t.proto.p_subordinate_decision_log outcome with
+        | Protocol_intf.Log_force kind ->
+            tm_force t ~txn:st.txn kind (fun () ->
                 st.decision_durable <- true;
                 subordinate_apply t st outcome)
-        | Aborted, Presumed_abort ->
-            (* no forced abort record before acknowledging (PA) *)
-            tm_append t ~txn:st.txn Wal.Log_record.Aborted;
+        | Protocol_intf.Log_append kind ->
+            (* no forced record before acknowledging (PA abort) *)
+            tm_append t ~txn:st.txn kind;
             st.decision_durable <- true;
             subordinate_apply t st outcome
-        | Aborted, (Basic | Presumed_nothing) ->
-            tm_force t ~txn:st.txn Wal.Log_record.Aborted (fun () ->
-                st.decision_durable <- true;
-                subordinate_apply t st outcome))
+        | Protocol_intf.Log_none ->
+            st.decision_durable <- true;
+            subordinate_apply t st outcome)
       end
 
 and subordinate_apply t st outcome =
@@ -1404,18 +1416,18 @@ and delegator_decision t st outcome =
   st.outcome <- Some outcome;
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
   set_phase t st Ph_deciding;
-  match (outcome, t.cfg.protocol) with
-  | Committed, _ ->
-      tm_force t ~txn:st.txn Wal.Log_record.Committed (fun () ->
+  match t.proto.p_decision_log outcome with
+  | Protocol_intf.Log_force kind ->
+      tm_force t ~txn:st.txn kind (fun () ->
           st.decision_durable <- true;
           delegator_apply t st outcome)
-  | Aborted, Presumed_abort ->
+  | Protocol_intf.Log_append kind ->
+      tm_append t ~txn:st.txn kind;
       st.decision_durable <- true;
       delegator_apply t st outcome
-  | Aborted, (Basic | Presumed_nothing) ->
-      tm_force t ~txn:st.txn Wal.Log_record.Aborted (fun () ->
-          st.decision_durable <- true;
-          delegator_apply t st outcome)
+  | Protocol_intf.Log_none ->
+      st.decision_durable <- true;
+      delegator_apply t st outcome
 
 and delegator_apply t st outcome =
   apply_local t st outcome (fun () ->
@@ -1449,14 +1461,14 @@ and handle_ack t ~src ~txn ~damage ~pending =
                          ch.ch_profile.p_name;
                    });
             if pending then st.pending <- true;
-            (match (damage, t.cfg.protocol) with
-            | [], _ -> ()
-            | reports, Presumed_nothing ->
-                (* PN: forward damage to the root *)
+            (match damage with
+            | [] -> ()
+            | reports when t.proto.p_damage_to_root ->
+                (* forward damage up toward the root (PN) *)
                 st.damage <- reports @ st.damage
-            | reports, (Presumed_abort | Basic) ->
-                (* PA/R*: damage is reported to the immediate coordinator
-                   (and its operator) only *)
+            | reports ->
+                (* damage is reported to the immediate coordinator (and
+                   its operator) only (PA, basic) *)
                 List.iter
                   (fun (d : Msg.damage_report) ->
                     trace t
@@ -1581,17 +1593,13 @@ and restart t =
   Hashtbl.iter (fun txn kinds -> recover_txn t ~txn ~kinds) by_txn
 
 and recover_txn t ~txn ~kinds =
-  let has k = List.mem k kinds in
-  if has Wal.Log_record.End then () (* fully finished *)
-  else if has Wal.Log_record.Committed then resume_propagation t ~txn Committed
-  else if has Wal.Log_record.Aborted then resume_propagation t ~txn Aborted
-  else if has Wal.Log_record.Prepared then resume_in_doubt t ~txn
-  else if has Wal.Log_record.Commit_pending then
-    (* PN coordinator interrupted before deciding: abort and drive the
-       subordinates (coordinator-initiated recovery) *)
-    resume_pn_abort t ~txn
-  else if has Wal.Log_record.Heuristic_commit || has Wal.Log_record.Heuristic_abort
-  then () (* heuristic state already resolved locally; nothing to drive *)
+  match t.proto.p_recover kinds with
+  | Protocol_intf.Rec_none -> ()
+      (* fully finished, or heuristic state already resolved locally *)
+  | Protocol_intf.Rec_redrive outcome -> resume_propagation t ~txn outcome
+  | Protocol_intf.Rec_in_doubt -> resume_in_doubt t ~txn
+  | Protocol_intf.Rec_decide { outcome; note } ->
+      resume_decide t ~txn ~outcome ~note
 
 (* An outcome is durable but END is missing: some subordinate may not have
    heard it.  Re-drive phase two toward every static child. *)
@@ -1667,31 +1675,27 @@ and resume_in_doubt t ~txn =
   trace t
     (Trace.Note
        { time = now t; node = t.name; text = "recovery: in doubt after restart" });
-  (match t.cfg.protocol with
-  | Presumed_abort | Basic -> (
-      match t.parent_name with
-      | Some parent -> send t ~dst:parent [ Msg.Inquiry { txn } ]
-      | None ->
-          (* A parentless node with a durable Prepared record delegated its
-             decision before crashing: the outcome belongs to the last
-             agent.  Presuming abort here could contradict a commit the
-             agent already made durable, so inquire the children instead
-             (the in-doubt timer keeps retrying). *)
-          List.iter
-            (fun ch -> send t ~dst:ch.ch_profile.p_name [ Msg.Inquiry { txn } ])
-            st.children)
-  | Presumed_nothing -> ());
+  (* Who can resolve our doubt?  A subordinate asks its parent.  A
+     parentless node with a durable Prepared record delegated its decision
+     before crashing: the outcome belongs to the last agent.  Presuming
+     abort here could contradict a commit the agent already made durable,
+     so the targets are the children instead (the in-doubt timer keeps
+     retrying).  Whether anyone is actually asked is the protocol's call
+     (PN waits for its coordinator). *)
+  let targets =
+    match t.parent_name with
+    | Some parent -> [ parent ]
+    | None -> List.map (fun ch -> ch.ch_profile.p_name) st.children
+  in
+  t.proto.p_indoubt_restart (ops_of t) ~txn ~targets;
   start_heuristic_timer t st;
   start_indoubt_timer t st
 
-and resume_pn_abort t ~txn =
-  trace t
-    (Trace.Note
-       {
-         time = now t;
-         node = t.name;
-         text = "PN recovery: commit-pending without outcome - aborting";
-       });
+(* The protocol knows the outcome without anyone to ask (PN's interrupted
+   commit-pending coordinator aborts): decide it now and drive the
+   subordinates (coordinator-initiated recovery). *)
+and resume_decide t ~txn ~outcome ~note =
+  trace t (Trace.Note { time = now t; node = t.name; text = note });
   let st = new_txn_state t txn in
   set_phase t st Ph_deciding;
   st.parent <- t.parent_name;
@@ -1709,7 +1713,7 @@ and resume_pn_abort t ~txn =
           ch_retries = 0;
         })
       t.child_profiles;
-  decide t st Aborted
+  decide t st outcome
 
 let attach t = Net.add_node t.net t.name (fun ~src payloads -> handler t ~src payloads)
 

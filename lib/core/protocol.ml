@@ -1,0 +1,49 @@
+(** Commit-protocol registry; see protocol.mli for the contract. *)
+
+include Protocol_intf
+
+(* Lookup is by every spelling of every registered protocol, lowercased;
+   [order] remembers registration order so listings are deterministic. *)
+let table : (string, t) Hashtbl.t = Hashtbl.create 16
+let order : t list ref = ref []
+
+let canonical_name p = Types.protocol_to_string p.p_id
+
+let names_of p =
+  List.sort_uniq compare
+    (List.map String.lowercase_ascii
+       (canonical_name p :: p.p_flag :: p.p_aliases))
+
+let register p =
+  let keys = names_of p in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt table k with
+      | Some q when q != p ->
+          invalid_arg ("Protocol.register: name already taken: " ^ k)
+      | _ -> ())
+    keys;
+  if not (List.memq p !order) then order := !order @ [ p ];
+  List.iter (fun k -> Hashtbl.replace table k p) keys
+
+let find name = Hashtbl.find_opt table (String.lowercase_ascii name)
+let all () = !order
+
+(* The paper's three families are always available: registering them here,
+   by direct reference, also guarantees the linker keeps their modules. *)
+let () =
+  List.iter register
+    [ Protocol_basic.protocol; Protocol_pa.protocol; Protocol_pn.protocol ]
+
+let resolve proto =
+  let name = Types.protocol_to_string proto in
+  match find name with
+  | Some impl -> impl
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Protocol.resolve: no implementation registered for %S"
+           name)
+
+let of_string s = Option.map (fun impl -> impl.p_id) (find s)
+let flag proto = (resolve proto).p_flag
+let flags () = List.map (fun p -> p.p_flag) (all ())

@@ -1,0 +1,51 @@
+(** The commit-protocol registry: the pluggable-protocol extension point.
+
+    A protocol is a {!Protocol_intf.t} value - a record of the transition
+    policies where commit-protocol families differ (pre-vote logging,
+    decision log discipline, abort acknowledgment, damage routing,
+    in-doubt behaviour, restart recovery).  The paper's three families are
+    pre-registered; {!register} admits new ones, which {!Participant} (and
+    therefore every harness above it: {!Mixer}, {!Run}, Faultlab chaos,
+    the parallel driver, the CLI) picks up through
+    [Types.Custom "name"] with no further wiring.
+
+    Registration happens at module-initialization time from the main
+    domain; afterwards the registry is only read, so sharing it read-only
+    across the parallel driver's domains is safe (the invariant documented
+    in driver.ml). *)
+
+include module type of struct
+  include Protocol_intf
+end
+
+val register : t -> unit
+(** Make a protocol resolvable under its canonical name
+    ([Types.protocol_to_string p.p_id]), its [p_flag] and each of its
+    [p_aliases], case-insensitively.  Re-registering the same value is a
+    no-op; claiming a name already held by a different protocol raises
+    [Invalid_argument].  Call it from the main domain before any world is
+    built. *)
+
+val find : string -> t option
+(** Look a protocol up by any registered spelling, case-insensitively. *)
+
+val all : unit -> t list
+(** Every registered protocol, in registration order (the paper's three
+    families first). *)
+
+val resolve : Types.protocol -> t
+(** The implementation behind a {!Types.config} protocol choice; raises
+    [Invalid_argument] for a [Custom] name nothing registered. *)
+
+val of_string : string -> Types.protocol option
+(** Parse a protocol name into the {!Types.config} value selecting it:
+    the CLI's [--protocol] parser.  Accepts every spelling {!find}
+    accepts. *)
+
+val flag : Types.protocol -> string
+(** Short CLI spelling ([basic], [pa], [pn], or a custom protocol's flag):
+    what sweep/chaos JSONL lines and replay hints print. *)
+
+val flags : unit -> string list
+(** The short spelling of every registered protocol, registration order -
+    for CLI documentation and error messages. *)

@@ -1,0 +1,38 @@
+(** Baseline two-phase commit (the paper's Figure 1) expressed through
+    {!Protocol_intf}: every decision is forced at every member, every
+    abort is acknowledged, and a coordinator with no information answers
+    inquiries with abort only because an unlogged decision cannot have
+    committed. *)
+
+open Types
+
+let protocol : Protocol_intf.t =
+  {
+    p_id = Basic;
+    p_flag = "basic";
+    p_aliases = [];
+    p_description = "baseline 2PC: forced decisions and acks everywhere";
+    (* nothing precedes phase one: the coordinator's first write is the
+       decision itself *)
+    p_begin_commit = (fun _ops ~txn:_ ~root:_ ~has_children:_ ~k -> k ());
+    p_voter_log = [ Wal.Log_record.Prepared ];
+    p_delegation_log = [ Wal.Log_record.Prepared ];
+    p_decision_log =
+      (function
+      | Committed -> Protocol_intf.Log_force Wal.Log_record.Committed
+      | Aborted -> Protocol_intf.Log_force Wal.Log_record.Aborted);
+    p_subordinate_decision_log =
+      (function
+      | Committed -> Protocol_intf.Log_force Wal.Log_record.Committed
+      | Aborted -> Protocol_intf.Log_force Wal.Log_record.Aborted);
+    p_ack_on_abort = true;
+    (* a member that never voted (or said NO) cannot be in doubt: its abort
+       notification is fire-and-forget; a YES voter must confirm *)
+    p_abort_ack_required =
+      (fun ~vote ~presumed_no:_ ->
+        match vote with Some (Vote_yes _) -> true | _ -> false);
+    p_damage_to_root = false;
+    p_indoubt_tick = Protocol_intf.send_inquiries;
+    p_indoubt_restart = Protocol_intf.send_inquiries;
+    p_recover = Protocol_intf.standard_recover;
+  }

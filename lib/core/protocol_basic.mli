@@ -1,0 +1,4 @@
+(** Baseline two-phase commit (the paper's Figure 1) expressed through
+    {!Protocol_intf}. *)
+
+val protocol : Protocol_intf.t

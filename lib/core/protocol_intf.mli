@@ -1,0 +1,98 @@
+(** The commit-protocol interface: what distinguishes one protocol family
+    from another, expressed as a record of transition policies.
+
+    {!Participant} owns everything the paper calls "the environment" -
+    timers, retransmission with backoff, crash/restart/amnesia, piggyback
+    deferral, telemetry spans, lock handling - and consults a {!t} at
+    exactly the points where Basic 2PC, Presumed Abort and Presumed Nothing
+    diverge.  A new protocol is a value of this type registered with
+    {!Protocol.register}; it inherits the sweep, chaos, shrinking and
+    telemetry harness unchanged.  DESIGN.md "Plugging in a protocol"
+    documents the contract field by field. *)
+
+(** Capabilities the plumbing hands a protocol hook.  Every effect a hook
+    may have on the world goes through one of these, which is what keeps
+    implementations runnable under the deterministic simulation, the crash
+    injector and the trace at once. *)
+type ops = {
+  op_send : dst:string -> Msg.payload list -> unit;
+      (** send one message (one flow in the paper's accounting) *)
+  op_force : txn:string -> Wal.Log_record.kind -> (unit -> unit) -> unit;
+      (** force a TM record; the continuation runs when it is durable
+          (immediately for shared-log members riding the parent's forces) *)
+  op_append : txn:string -> Wal.Log_record.kind -> unit;
+      (** write a TM record without forcing *)
+  op_note : string -> unit;  (** free-form trace note at this node *)
+  op_crash_at : Types.crash_point -> bool;
+      (** fire a configured crash fault at this point; [true] means the
+          node just crashed and the hook must stop *)
+  op_now : unit -> float;  (** virtual clock *)
+}
+
+(** How a decision reaches the log at one role. *)
+type log_discipline =
+  | Log_force of Wal.Log_record.kind  (** forced write, wait for the disk *)
+  | Log_append of Wal.Log_record.kind  (** non-forced write, continue *)
+  | Log_none  (** write nothing (the presumption carries the outcome) *)
+
+(** What a restarted node does with the record kinds it finds for one
+    transaction in its durable log. *)
+type recovery_action =
+  | Rec_none  (** nothing to drive (finished, or resolved heuristically) *)
+  | Rec_redrive of Types.outcome
+      (** outcome durable but END missing: re-drive phase two *)
+  | Rec_in_doubt  (** prepared without outcome: resume in doubt *)
+  | Rec_decide of { outcome : Types.outcome; note : string }
+      (** decide [outcome] now, tracing [note] first (PN's interrupted
+          commit-pending coordinator aborts) *)
+
+type t = {
+  p_id : Types.protocol;
+      (** the {!Types.config} value selecting this protocol *)
+  p_flag : string;  (** short CLI spelling, e.g. ["pa"] *)
+  p_aliases : string list;  (** further accepted spellings *)
+  p_description : string;
+  p_begin_commit :
+    ops -> txn:string -> root:bool -> has_children:bool -> k:(unit -> unit) -> unit;
+      (** called when this node starts acting as a (root or cascaded)
+          coordinator, before any Prepare flows; the protocol performs its
+          pre-voting logging and calls [k] to launch phase one *)
+  p_voter_log : Wal.Log_record.kind list;
+      (** records a YES voter forces, in order, before its vote may leave
+          the node (PN: agent then prepared; others: prepared) *)
+  p_delegation_log : Wal.Log_record.kind list;
+      (** records a delegating coordinator forces before handing the
+          decision to its last agent (PN already forced commit-pending) *)
+  p_decision_log : Types.outcome -> log_discipline;
+      (** logging at the decision maker (root, last agent, delegator) *)
+  p_subordinate_decision_log : Types.outcome -> log_discipline;
+      (** logging at a subordinate that hears the outcome from above *)
+  p_ack_on_abort : bool;
+      (** do subordinates acknowledge aborts?  (PA: no - the presumption
+          makes the abort forgettable without them) *)
+  p_abort_ack_required : vote:Types.vote option -> presumed_no:bool -> bool;
+      (** coordinator side of the same question, per child: must this
+          child's abort notification be retried until acknowledged?
+          [vote] is the child's recorded vote ([None] = never voted);
+          [presumed_no] marks a vote timeout rather than a real NO *)
+  p_damage_to_root : bool;
+      (** heuristic-damage reports travel up to the root (PN) rather than
+          stopping at the immediate coordinator (PA, basic) *)
+  p_indoubt_tick : ops -> txn:string -> targets:string list -> unit;
+      (** periodic action while in doubt: PA/basic inquire [targets]; PN
+          waits for the coordinator to contact it *)
+  p_indoubt_restart : ops -> txn:string -> targets:string list -> unit;
+      (** same question right after restart rebuilds an in-doubt state *)
+  p_recover : Wal.Log_record.kind list -> recovery_action;
+      (** restart-time policy over the TM record kinds found for one txn *)
+}
+
+val send_inquiries : ops -> txn:string -> targets:string list -> unit
+(** Send an {!Msg.Inquiry} for [txn] to every target: the subordinate-
+    initiated recovery action shared by the presuming protocols. *)
+
+val standard_recover : Wal.Log_record.kind list -> recovery_action
+(** The recovery priority shared by all three paper protocols: END means
+    finished; a durable outcome is re-driven; a dangling prepare means in
+    doubt; anything else (including heuristic records, which were resolved
+    locally when written) needs no driving. *)

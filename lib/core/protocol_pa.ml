@@ -1,0 +1,34 @@
+(** Presumed Abort (the paper's Figure 2) expressed through
+    {!Protocol_intf}: no information at the coordinator means abort, so
+    aborts log nothing at the decision maker, are written lazily at
+    subordinates, and are never acknowledged. *)
+
+open Types
+
+let protocol : Protocol_intf.t =
+  {
+    p_id = Presumed_abort;
+    p_flag = "pa";
+    p_aliases = [];
+    p_description = "presumed abort: aborts unlogged at the decision maker";
+    p_begin_commit = (fun _ops ~txn:_ ~root:_ ~has_children:_ ~k -> k ());
+    p_voter_log = [ Wal.Log_record.Prepared ];
+    p_delegation_log = [ Wal.Log_record.Prepared ];
+    p_decision_log =
+      (function
+      | Committed -> Protocol_intf.Log_force Wal.Log_record.Committed
+      (* the presumption carries the abort: a later inquiry finds no
+         information and concludes abort *)
+      | Aborted -> Protocol_intf.Log_none);
+    p_subordinate_decision_log =
+      (function
+      | Committed -> Protocol_intf.Log_force Wal.Log_record.Committed
+      (* no forced abort record before releasing resources *)
+      | Aborted -> Protocol_intf.Log_append Wal.Log_record.Aborted);
+    p_ack_on_abort = false;
+    p_abort_ack_required = (fun ~vote:_ ~presumed_no:_ -> false);
+    p_damage_to_root = false;
+    p_indoubt_tick = Protocol_intf.send_inquiries;
+    p_indoubt_restart = Protocol_intf.send_inquiries;
+    p_recover = Protocol_intf.standard_recover;
+  }

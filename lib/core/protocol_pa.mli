@@ -1,0 +1,4 @@
+(** Presumed Abort (the paper's Figure 2) expressed through
+    {!Protocol_intf}. *)
+
+val protocol : Protocol_intf.t

@@ -1,0 +1,4 @@
+(** Presumed Nothing (the paper's Figure 3) expressed through
+    {!Protocol_intf}. *)
+
+val protocol : Protocol_intf.t

@@ -31,7 +31,7 @@ let figure1 () =
        prepared and committed records and the coordinator forcing the \
        commit record."
     ~nodes:[ "coordinator"; "subordinate" ]
-    ~config:{ default_config with protocol = Basic }
+    ~config:(default_config |> with_protocol Basic)
     (Tree (member "coordinator", [ Tree (member "subordinate", []) ]))
 
 (** Figure 2: 2PC with a cascaded (intermediate) coordinator. *)
@@ -41,7 +41,7 @@ let figure2 () =
       "A three-deep commit tree: the intermediate propagates Prepare \
        downstream and collects votes/acks for its subtree."
     ~nodes:[ "coordinator"; "cascaded"; "subordinate" ]
-    ~config:{ default_config with protocol = Basic }
+    ~config:(default_config |> with_protocol Basic)
     (Tree
        ( member "coordinator",
          [ Tree (member "cascaded", [ Tree (member "subordinate", []) ]) ] ))
@@ -57,7 +57,7 @@ let figure3 () =
        before any Prepare is sent, so recovery can reach subordinates and \
        collect heuristic-damage reports."
     ~nodes:[ "coordinator"; "cascaded"; "subordinate" ]
-    ~config:{ default_config with protocol = Presumed_nothing }
+    ~config:(default_config |> with_protocol Presumed_nothing)
     (Tree
        ( member "coordinator",
          [ Tree (member "cascaded", [ Tree (member "subordinate", []) ]) ] ))
@@ -70,8 +70,7 @@ let figure4 () =
       "The read-only subordinate votes read-only, releases its locks \
        immediately, writes nothing and is left out of the decision phase."
     ~nodes:[ "coordinator"; "updater"; "reader" ]
-    ~config:
-      { default_config with opts = { no_opts with read_only = true } }
+    ~config:(default_config |> with_opts [ `Read_only ])
     (Tree
        ( member "coordinator",
          [ Tree (member "updater", []); Tree (member ~updated:false "reader", []) ] ))
@@ -130,7 +129,7 @@ let figure6 () =
        sends its YES vote to the last agent, which decides and replies with \
        the outcome; the acknowledgment is implied by the next data sent."
     ~nodes:[ "coordinator"; "last-agent" ]
-    ~config:{ default_config with opts = { no_opts with last_agent = true } }
+    ~config:(default_config |> with_opts [ `Last_agent ])
     (Tree (member "coordinator", [ Tree (member "last-agent", []) ]))
 
 (** Figure 7: long locks committing chained transactions; the subordinate
@@ -161,8 +160,7 @@ let figure8 () =
        intermediates may acknowledge early and the reliable members' \
        explicit acknowledgments are elided."
     ~nodes:[ "coordinator"; "cascaded"; "subordinate" ]
-    ~config:
-      { default_config with opts = { no_opts with vote_reliable = true } }
+    ~config:(default_config |> with_opts [ `Vote_reliable ])
     (Tree
        ( member "coordinator",
          [

@@ -7,6 +7,9 @@ type protocol =
   | Presumed_nothing
       (** PN: coordinator force-logs commit-pending before Prepare and owns
           recovery and heuristic-damage reporting *)
+  | Custom of string
+      (** a protocol registered under this name in the [Protocol] registry
+          (the extension point for commit protocols beyond the paper) *)
 
 type outcome = Committed | Aborted
 
@@ -273,6 +276,7 @@ let protocol_to_string = function
   | Basic -> "basic-2pc"
   | Presumed_abort -> "presumed-abort"
   | Presumed_nothing -> "presumed-nothing"
+  | Custom name -> name
 
 let outcome_to_string = function Committed -> "commit" | Aborted -> "abort"
 

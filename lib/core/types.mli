@@ -7,6 +7,10 @@ type protocol =
   | Presumed_nothing
       (** PN: coordinator force-logs commit-pending before Prepare and owns
           recovery and heuristic-damage reporting *)
+  | Custom of string
+      (** a protocol registered under this name in the {!Protocol} registry
+          (the extension point for commit protocols beyond the paper);
+          {!protocol_to_string} returns the name verbatim *)
 
 type outcome = Committed | Aborted
 
@@ -174,6 +178,9 @@ val with_opts : opt list -> config -> config
 (** Replaces the whole [opts] field with [opts_of_list l]. *)
 
 val with_opts_record : opts -> config -> config
+  [@@ocaml.deprecated
+    "use with_opts (the opt-list API) or opts_of_list instead"]
+
 val with_faults : fault list -> config -> config
 val with_latency : float -> config -> config
 val with_io_latency : float -> config -> config

@@ -3,10 +3,12 @@
    Domain-safety invariant: a cell body touches only (a) the immutable
    parameter records captured by its closure and (b) the fresh world it
    builds itself.  The tpc libraries hold no module-level mutable state
-   (audited: the cost_model/scenarios lookup tables are immutable lists
-   built at module initialization in the main domain), so sharing the
-   code read-only across domains is safe.  The one shared structure per
-   batch is the results array, and each worker writes only its own index. *)
+   that is written after startup (audited: the cost_model/scenarios lookup
+   tables are immutable lists built at module initialization in the main
+   domain, and the Protocol registry is populated at module initialization
+   / before any world is built, then only read), so sharing the code
+   read-only across domains is safe.  The one shared structure per batch
+   is the results array, and each worker writes only its own index. *)
 
 open Tpc.Types
 

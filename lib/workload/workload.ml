@@ -118,8 +118,8 @@ let table3_opts opt = opts_of_list [ table3_opt_variant opt ]
 let run_table3 ?(protocol = Presumed_abort) opt ~n ~m =
   (* with m=0 nobody follows the optimization: switch it off entirely (the
      last-agent switch would otherwise delegate to an arbitrary member) *)
-  let opts = if m = 0 then no_opts else table3_opts opt in
-  let config = default_config |> with_protocol protocol |> with_opts_record opts in
+  let opts = if m = 0 then [] else [ table3_opt_variant opt ] in
+  let config = default_config |> with_protocol protocol |> with_opts opts in
   let metrics, _w = Tpc.Run.commit_tree ~config (table3_tree opt ~n ~m) in
   Tpc.Metrics.counts metrics
 

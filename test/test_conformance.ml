@@ -1,0 +1,297 @@
+(* Protocol-conformance suite: every protocol in the registry - the
+   paper's three families and anything registered later - must satisfy the
+   contract {!Tpc.Protocol_intf} documents, and the registry lookups the
+   CLI depends on must round-trip.  A custom protocol registered here
+   end-to-end proves the pluggability claim: behavior flows entirely
+   through the record, with no participant special-casing. *)
+
+open Tpc.Types
+open Test_util
+module P = Tpc.Protocol
+
+let all () = P.all ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_flag () =
+  List.iter
+    (fun (impl : P.t) ->
+      Alcotest.(check bool)
+        (impl.P.p_flag ^ " parses to its own id")
+        true
+        (P.of_string impl.P.p_flag = Some impl.P.p_id))
+    (all ())
+
+let test_roundtrip_canonical_name () =
+  List.iter
+    (fun (impl : P.t) ->
+      let name = protocol_to_string impl.P.p_id in
+      Alcotest.(check bool)
+        (name ^ " parses to its own id")
+        true
+        (P.of_string name = Some impl.P.p_id))
+    (all ())
+
+let test_case_insensitive () =
+  List.iter
+    (fun (impl : P.t) ->
+      let shout = String.uppercase_ascii impl.P.p_flag in
+      Alcotest.(check bool)
+        (shout ^ " resolves case-insensitively")
+        true
+        (P.of_string shout = Some impl.P.p_id))
+    (all ())
+
+let test_resolve_is_identity () =
+  List.iter
+    (fun (impl : P.t) ->
+      Alcotest.(check bool)
+        (impl.P.p_flag ^ " resolve returns the registered value")
+        true
+        (P.resolve impl.P.p_id == impl);
+      Alcotest.(check string)
+        (impl.P.p_flag ^ " flag round-trips")
+        impl.P.p_flag (P.flag impl.P.p_id))
+    (all ())
+
+let test_builtins_listed () =
+  let flags = P.flags () in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " registered") true (List.mem f flags))
+    [ "basic"; "pa"; "pn" ]
+
+let test_unknown_name () =
+  Alcotest.(check bool)
+    "unknown spelling rejected" true
+    (P.of_string "no-such-protocol" = None);
+  Alcotest.check_raises "unregistered Custom rejected"
+    (Invalid_argument
+       "Protocol.resolve: no implementation registered for \"no-such-protocol\"")
+    (fun () -> ignore (P.resolve (Custom "no-such-protocol")))
+
+let test_conflicting_registration () =
+  let impostor = { Tpc.Protocol_pa.protocol with P.p_id = Custom "impostor" } in
+  (try
+     P.register impostor;
+     Alcotest.fail "registering a second protocol under \"pa\" must raise"
+   with Invalid_argument _ -> ());
+  (* re-registering the same value is a no-op *)
+  P.register Tpc.Protocol_pa.protocol;
+  Alcotest.(check bool)
+    "registry unchanged" true
+    (P.resolve Presumed_abort == Tpc.Protocol_pa.protocol)
+
+(* ------------------------------------------------------------------ *)
+(* Interface-contract invariants, checked for every registered protocol *)
+(* ------------------------------------------------------------------ *)
+
+let forces_committed name = function
+  | P.Log_force k ->
+      Alcotest.(check bool)
+        (name ^ " forces the committed record")
+        true
+        (k = Wal.Log_record.Committed)
+  | P.Log_append _ | P.Log_none ->
+      Alcotest.fail (name ^ ": a commit decision must be forced before acks")
+
+let test_vote_is_durable () =
+  List.iter
+    (fun (impl : P.t) ->
+      let log = impl.P.p_voter_log in
+      Alcotest.(check bool)
+        (impl.P.p_flag ^ " voter forces at least one record")
+        true (log <> []);
+      Alcotest.(check bool)
+        (impl.P.p_flag ^ " voter log ends with prepared")
+        true
+        (List.nth log (List.length log - 1) = Wal.Log_record.Prepared))
+    (all ())
+
+let test_commit_decision_is_forced () =
+  List.iter
+    (fun (impl : P.t) ->
+      forces_committed
+        (impl.P.p_flag ^ " coordinator")
+        (impl.P.p_decision_log Committed);
+      forces_committed
+        (impl.P.p_flag ^ " subordinate")
+        (impl.P.p_subordinate_decision_log Committed))
+    (all ())
+
+let test_abort_presumption_consistent () =
+  (* a protocol that writes nothing on abort is presuming abort; it must
+     not then wait for abort acknowledgments nobody owes it *)
+  List.iter
+    (fun (impl : P.t) ->
+      match impl.P.p_decision_log Aborted with
+      | P.Log_none ->
+          Alcotest.(check bool)
+            (impl.P.p_flag ^ " logless abort implies no abort acks")
+            false impl.P.p_ack_on_abort
+      | P.Log_force _ | P.Log_append _ -> ())
+    (all ())
+
+let test_recovery_table () =
+  let open Wal.Log_record in
+  List.iter
+    (fun (impl : P.t) ->
+      let f = impl.P.p_flag in
+      let recover = impl.P.p_recover in
+      Alcotest.(check bool)
+        (f ^ " empty log recovers to nothing")
+        true
+        (recover [] = P.Rec_none);
+      Alcotest.(check bool)
+        (f ^ " end record closes the transaction")
+        true
+        (recover [ End; Committed; Prepared ] = P.Rec_none);
+      Alcotest.(check bool)
+        (f ^ " committed outcome is redriven")
+        true
+        (recover [ Committed; Prepared ] = P.Rec_redrive Committed);
+      Alcotest.(check bool)
+        (f ^ " aborted outcome is redriven")
+        true
+        (recover [ Aborted; Prepared ] = P.Rec_redrive Aborted);
+      Alcotest.(check bool)
+        (f ^ " bare prepared record is in doubt")
+        true
+        (recover [ Prepared ] = P.Rec_in_doubt))
+    (all ())
+
+(* ------------------------------------------------------------------ *)
+(* Live-run conformance: every registered protocol commits and aborts   *)
+(* atomically on the same trees                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_every_protocol_commits () =
+  List.iter
+    (fun (impl : P.t) ->
+      let config = default_config |> with_protocol impl.P.p_id in
+      let m, w = run ~config (three ()) in
+      check_outcome (impl.P.p_flag ^ " commits") (Some Committed) m;
+      check_consistent
+        (impl.P.p_flag ^ " commit consistent")
+        w ~txn:"txn-1" ~outcome:Committed)
+    (all ())
+
+let test_every_protocol_aborts () =
+  List.iter
+    (fun (impl : P.t) ->
+      let config = default_config |> with_protocol impl.P.p_id in
+      let tree = three ~s:(member ~vote_no:true "S") () in
+      let m, w = run ~config tree in
+      check_outcome (impl.P.p_flag ^ " aborts on NO") (Some Aborted) m;
+      check_consistent
+        (impl.P.p_flag ^ " abort consistent")
+        w ~txn:"txn-1" ~outcome:Aborted)
+    (all ())
+
+(* ------------------------------------------------------------------ *)
+(* Regression: the CLI's --protocol pn spelling is the pre-refactor     *)
+(* Presumed_nothing, byte for byte                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace_of config tree =
+  let _m, w = run ~config tree in
+  Tpc.Trace.to_string w.Tpc.Run.trace
+
+let test_pn_flag_matches_variant () =
+  let via_flag =
+    match P.of_string "pn" with
+    | Some p -> default_config |> with_protocol p
+    | None -> Alcotest.fail "pn not registered"
+  in
+  let via_variant = default_config |> with_protocol Presumed_nothing in
+  List.iter
+    (fun tree ->
+      Alcotest.(check string)
+        "--protocol pn trace identical to Presumed_nothing"
+        (trace_of via_variant tree) (trace_of via_flag tree))
+    [ two (); three (); three ~s:(member ~vote_no:true "S") () ]
+
+let test_pn_counts_match_cost_model () =
+  let config =
+    match P.of_string "pn" with
+    | Some p -> default_config |> with_protocol p
+    | None -> Alcotest.fail "pn not registered"
+  in
+  let m, _w = run ~config (two ()) in
+  check_counts "--protocol pn matches Table 2"
+    (Tpc.Cost_model.presumed_nothing ~n:2 ()) m
+
+(* ------------------------------------------------------------------ *)
+(* Pluggability end to end: a protocol registered by a client shows up  *)
+(* in the CLI surface and runs through the whole stack unchanged        *)
+(* ------------------------------------------------------------------ *)
+
+let demo : P.t =
+  {
+    Tpc.Protocol_pa.protocol with
+    P.p_id = Custom "conformance-demo";
+    p_flag = "confdemo";
+    p_aliases = [ "demo" ];
+    p_description = "test-registered PA clone";
+  }
+
+let () = P.register demo
+
+let test_custom_protocol_runs () =
+  let id =
+    match P.of_string "demo" with
+    | Some p -> p
+    | None -> Alcotest.fail "alias lookup failed"
+  in
+  Alcotest.(check bool)
+    "alias and flag resolve to the same id" true
+    (P.of_string "confdemo" = Some id);
+  Alcotest.(check string) "flag printed for JSONL" "confdemo" (P.flag id);
+  let config = default_config |> with_protocol id in
+  let pa = default_config |> with_protocol Presumed_abort in
+  List.iter
+    (fun tree ->
+      Alcotest.(check string)
+        "PA clone behaves byte-identically to PA"
+        (trace_of pa tree) (trace_of config tree))
+    [ two (); three (); three ~s:(member ~vote_no:true "S") () ];
+  let m, w = run ~config (three ()) in
+  check_outcome "custom protocol commits" (Some Committed) m;
+  check_consistent "custom protocol consistent" w ~txn:"txn-1"
+    ~outcome:Committed
+
+let suite =
+  [
+    Alcotest.test_case "flag spellings round-trip" `Quick test_roundtrip_flag;
+    Alcotest.test_case "canonical names round-trip" `Quick
+      test_roundtrip_canonical_name;
+    Alcotest.test_case "lookups are case-insensitive" `Quick
+      test_case_insensitive;
+    Alcotest.test_case "resolve returns registered values" `Quick
+      test_resolve_is_identity;
+    Alcotest.test_case "paper's three families registered" `Quick
+      test_builtins_listed;
+    Alcotest.test_case "unknown names rejected" `Quick test_unknown_name;
+    Alcotest.test_case "name conflicts rejected" `Quick
+      test_conflicting_registration;
+    Alcotest.test_case "votes are durable before YES" `Quick
+      test_vote_is_durable;
+    Alcotest.test_case "commit decisions are forced" `Quick
+      test_commit_decision_is_forced;
+    Alcotest.test_case "abort presumption is consistent" `Quick
+      test_abort_presumption_consistent;
+    Alcotest.test_case "recovery table honours the log" `Quick
+      test_recovery_table;
+    Alcotest.test_case "every protocol commits atomically" `Quick
+      test_every_protocol_commits;
+    Alcotest.test_case "every protocol aborts atomically" `Quick
+      test_every_protocol_aborts;
+    Alcotest.test_case "--protocol pn equals Presumed_nothing" `Quick
+      test_pn_flag_matches_variant;
+    Alcotest.test_case "--protocol pn matches the cost model" `Quick
+      test_pn_counts_match_cost_model;
+    Alcotest.test_case "custom protocol plugs in end to end" `Quick
+      test_custom_protocol_runs;
+  ]

@@ -11,6 +11,7 @@ let () =
       ("cost-model", Test_cost_model.suite);
       ("trace", Test_trace.suite);
       ("protocol", Test_protocol.suite);
+      ("conformance", Test_conformance.suite);
       ("optimizations", Test_optimizations.suite);
       ("failures", Test_failures.suite);
       ("heuristics", Test_heuristics.suite);
