@@ -556,6 +556,7 @@ let chaos_scenario () =
       ch_shrink = true;
       ch_protocol_flag = "pa";
       ch_n = n;
+      ch_adversary = false;
     }
   in
   fun ~jobs ->

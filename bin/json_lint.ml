@@ -6,10 +6,59 @@
    must parse); anything else must parse as one JSON document.  All
    parsing goes through Tpc.Json.parse — the same parser the test suite
    round-trips through — so CI catches any drift between what the
-   simulator emits and what the tooling can read.  Exits 1 on the first
-   malformed input. *)
+   simulator emits and what the tooling can read.
+
+   Chaos verdict lines (those carrying both "plan" and "seed") get a
+   schema check on top of well-formedness: every benign verdict counter
+   must be present as a non-negative integer, and the adversarial
+   damage-classification fields — emitted only under `--adversary` — must
+   appear as a complete non-negative block whenever any one of them
+   appears.  Exits 1 on the first malformed input. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+(* the benign verdict counters every chaos line carries *)
+let verdict_fields =
+  [
+    "committed_missing";
+    "aborted_applied";
+    "bad_value";
+    "divergence";
+    "wal_divergence";
+    "leaked_locks";
+    "engine_pending";
+    "unresolved";
+    "in_doubt";
+  ]
+
+(* the damage-classification block emitted under --adversary *)
+let accounting_fields =
+  [
+    "atomicity_violations";
+    "heur_damage_reported";
+    "heur_damage_silent";
+    "blocked";
+    "rejected_forgeries";
+  ]
+
+let nonneg_int where path lineno json field =
+  match Tpc.Json.member field json with
+  | None -> fail "%s:%d: chaos verdict missing %s field %S" path lineno where field
+  | Some v -> (
+      match Tpc.Json.to_int_opt v with
+      | Some n when n >= 0 -> ()
+      | _ ->
+          fail "%s:%d: chaos verdict field %S must be a non-negative integer"
+            path lineno field)
+
+let check_chaos_line path lineno json =
+  match (Tpc.Json.member "plan" json, Tpc.Json.member "seed" json) with
+  | Some _, Some _ ->
+      List.iter (nonneg_int "benign" path lineno json) verdict_fields;
+      if List.exists (fun f -> Tpc.Json.member f json <> None) accounting_fields
+      then
+        List.iter (nonneg_int "adversarial" path lineno json) accounting_fields
+  | _ -> ()
 
 let read_file path =
   let ic = open_in_bin path in
@@ -24,7 +73,9 @@ let check_jsonl path =
   List.iteri
     (fun i line ->
       if String.trim line <> "" then begin
-        (try ignore (Tpc.Json.parse line)
+        (try
+           let json = Tpc.Json.parse line in
+           check_chaos_line path (i + 1) json
          with Tpc.Json.Parse_error msg ->
            fail "%s:%d: JSON parse error: %s" path (i + 1) msg);
         incr checked

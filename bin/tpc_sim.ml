@@ -591,7 +591,8 @@ let crash_term =
 (* --- chaos ------------------------------------------------------------------ *)
 
 let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
-    partitions drops jitters horizon plan_str broken no_shrink out jobs =
+    partitions drops jitters horizon adversary equivocations vote_flips
+    forgeries forced_heuristics plan_str broken no_shrink out jobs =
   if n < 2 then (
     Printf.eprintf "tpc_sim chaos: -n must be at least 2\n";
     exit 2);
@@ -613,8 +614,33 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
       *. Tpc.Mixer.default_cfg.Tpc.Mixer.base_interarrival
       /. float_of_int concurrency
   in
+  (* any explicit adversarial count implies --adversary; bare --adversary
+     gets a default mix of two of each adversarial kind *)
+  let adversary =
+    adversary || equivocations > 0 || vote_flips > 0 || forgeries > 0
+    || forced_heuristics > 0
+  in
   let gen_cfg =
     { Faultlab.default_gen with crashes; partitions; drops; jitters; horizon }
+  in
+  let gen_cfg =
+    if not adversary then gen_cfg
+    else if equivocations + vote_flips + forgeries + forced_heuristics = 0 then
+      {
+        gen_cfg with
+        Faultlab.equivocations = 2;
+        vote_flips = 2;
+        forgeries = 2;
+        forced_heuristics = 2;
+      }
+    else
+      {
+        gen_cfg with
+        Faultlab.equivocations = equivocations;
+        vote_flips;
+        forgeries;
+        forced_heuristics;
+      }
   in
   let fixed_plan =
     match plan_str with
@@ -638,6 +664,7 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
       ch_shrink = not no_shrink;
       ch_protocol_flag = Tpc.Protocol.flag protocol;
       ch_n = n;
+      ch_adversary = adversary;
     }
   in
   let cells, _registry = Driver.chaos_cells ~jobs params in
@@ -654,6 +681,32 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
   if out <> None then close_out out_chan;
   Printf.eprintf "tpc_sim chaos: %d/%d seeds clean (%s, n=%d, txns=%d, c=%d)\n"
     (seeds - !violations) seeds (Tpc.Protocol.flag protocol) n txns concurrency;
+  (* the per-protocol row of the damage matrix: what the adversary
+     achieved across the sweep, and what the honest nodes caught *)
+  List.fold_left
+    (fun acc (cell : Driver.chaos_cell) ->
+      match (acc, cell.Driver.cc_accounting) with
+      | None, a -> a
+      | Some t, Some a ->
+          Some
+            Faultlab.
+              {
+                a_atomicity = t.a_atomicity + a.a_atomicity;
+                a_heur_reported = t.a_heur_reported + a.a_heur_reported;
+                a_heur_silent = t.a_heur_silent + a.a_heur_silent;
+                a_blocked = t.a_blocked + a.a_blocked;
+                a_rejected = t.a_rejected + a.a_rejected;
+              }
+      | Some _, None -> acc)
+    None cells
+  |> Option.iter (fun (t : Faultlab.accounting) ->
+         Printf.eprintf
+           "tpc_sim chaos: adversary damage (%s, %d seeds): \
+            atomicity=%d heur_reported=%d heur_silent=%d blocked=%d \
+            rejected_forgeries=%d\n"
+           (Tpc.Protocol.flag protocol) seeds t.Faultlab.a_atomicity
+           t.Faultlab.a_heur_reported t.Faultlab.a_heur_silent
+           t.Faultlab.a_blocked t.Faultlab.a_rejected);
   if !violations > 0 then exit 1
 
 let chaos_term =
@@ -691,6 +744,45 @@ let chaos_term =
             "Fault-schedule horizon (virtual time); 0 = cover the arrival \
              window.")
   in
+  let adversary =
+    Arg.(
+      value & flag
+      & info [ "adversary" ]
+          ~doc:
+            "Generate adversarial events too (default two each of \
+             equivocations, vote flips, forgeries and forced heuristics \
+             unless overridden), emit the damage-accounting classification \
+             on every verdict line, and gate on silent damage instead of \
+             the benign pass/fail.")
+  in
+  let equivocations =
+    Arg.(
+      value & opt int 0
+      & info [ "equivocations" ]
+          ~doc:"Equivocating-coordinator events per plan (implies --adversary).")
+  in
+  let vote_flips =
+    Arg.(
+      value & opt int 0
+      & info [ "vote-flips" ]
+          ~doc:"In-flight vote-flip events per plan (implies --adversary).")
+  in
+  let forgeries =
+    Arg.(
+      value & opt int 0
+      & info [ "forgeries" ]
+          ~doc:
+            "Forged prepare/decision injections per plan (implies \
+             --adversary).")
+  in
+  let forced_heuristics =
+    Arg.(
+      value & opt int 0
+      & info [ "forced-heuristics" ]
+          ~doc:
+            "Scheduled heuristic-damage events per plan (implies \
+             --adversary).")
+  in
   let plan =
     Arg.(
       value
@@ -721,8 +813,9 @@ let chaos_term =
   in
   Term.(
     const chaos_cmd $ protocol_arg $ opts_arg $ n_arg $ seeds $ seed_arg $ txns
-    $ concurrency $ crashes $ partitions $ drops $ jitters $ horizon $ plan
-    $ broken $ no_shrink $ out $ jobs_arg)
+    $ concurrency $ crashes $ partitions $ drops $ jitters $ horizon
+    $ adversary $ equivocations $ vote_flips $ forgeries $ forced_heuristics
+    $ plan $ broken $ no_shrink $ out $ jobs_arg)
 
 (* --- command tree ------------------------------------------------------------- *)
 

@@ -111,6 +111,14 @@ type t = {
       (* (txn, child): the child exchanged no data with us in that
          transaction (set by the workload driver before commit begins) *)
   mutable deferred : deferred list;
+  mutable rejected : int;
+      (* payloads refused by the protocol's admissibility check (forgeries
+         an honest node can detect); survives restarts - the counter models
+         the operator's tally, not volatile state *)
+  mutable damage_seen : (string * Msg.damage_report) list;
+      (* heuristic-damage reports that reached this node's operator, as
+         (txn, report); populated where the protocol says reports stop
+         (immediate coordinator for PA/basic, root for PN) *)
 }
 
 let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
@@ -144,6 +152,8 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     suspended_children = Hashtbl.create 4;
     idle_children = Hashtbl.create 4;
     deferred = [];
+    rejected = 0;
+    damage_seen = [];
   }
 
 let name t = t.name
@@ -996,8 +1006,12 @@ and maybe_finished t st =
           (* our parent elided our ack: forget immediately *)
           finish_with_end t st
         end
-        else if outcome = Aborted && not t.proto.p_ack_on_abort then
-          (* the presumption stands in for the acknowledgment (PA) *)
+        else if outcome = Aborted && not t.proto.p_ack_on_abort && st.damage = []
+        then
+          (* the presumption stands in for the acknowledgment (PA) - but
+             only when there is nothing to report: heuristic damage must
+             reach an operator, so a damage-bearing abort is acknowledged
+             even under PA *)
           end_txn t st outcome
         else begin
           if not (maybe_crash t Cp_before_ack) then begin
@@ -1065,6 +1079,7 @@ and root_complete t st outcome =
     (Trace.Complete { time = now t; node = t.name; outcome; pending = st.pending });
   List.iter
     (fun (d : Msg.damage_report) ->
+      t.damage_seen <- (st.txn, d) :: t.damage_seen;
       trace t
         (Trace.Damage_detected { time = now t; node = d.d_node; reported_to = t.name }))
     st.damage;
@@ -1146,13 +1161,22 @@ and arm_heuristic t st delay action =
    transaction); PN subordinates wait for the coordinator to contact them. *)
 and start_indoubt_timer ?(attempt = 0) t st =
   (* Who can resolve our doubt?  A subordinate asks its parent.  A
-     parentless node that is nevertheless in doubt must have delegated its
-     decision (the only way a root forces Prepared): the outcome lives at a
-     child, so inquire all of them - only positive knowledge resolves. *)
+     parentless node in doubt with a recorded transaction parent accepted a
+     Prepare from outside the static tree (dual initiation, or a forged
+     ghost Prepare): whoever claimed the coordinator role owns the outcome,
+     so ask exactly them - an honest claimant answers, and a forger's
+     no-information reply lets the presumption resolve the doubt instead of
+     blocking the whole subtree forever.  A parentless node with no
+     transaction parent delegated its decision (the only other way a root
+     forces Prepared): the outcome lives at a child, so inquire all of
+     them - only positive knowledge resolves. *)
   let targets =
     match t.parent_name with
     | Some parent -> [ parent ]
-    | None -> List.map (fun ch -> ch.ch_profile.p_name) st.children
+    | None -> (
+        match st.parent with
+        | Some claimed -> [ claimed ]
+        | None -> List.map (fun ch -> ch.ch_profile.p_name) st.children)
   in
   if targets = [] then ()
   else if attempt > t.cfg.max_retries then
@@ -1392,6 +1416,9 @@ and resolve_heuristic t st ~action ~outcome =
       { Msg.d_node = t.name; d_action = action; d_outcome = outcome }
     in
     st.damage <- report :: st.damage;
+    (* the local operator console learns of the mismatch the moment it is
+       detected; damage is silent only when no console anywhere hears *)
+    t.damage_seen <- (st.txn, report) :: t.damage_seen;
     if st.sent_vote_reliable then
       (* Table 1's vote-reliable disadvantage: with the ack elided there is
          no channel to report the damage; it is lost *)
@@ -1443,7 +1470,17 @@ and delegator_apply t st outcome =
 
 and handle_ack t ~src ~txn ~damage ~pending =
   match get_txn t txn with
-  | None -> ()
+  | None ->
+      (* the transaction is already forgotten here (a PA coordinator ends
+         an abort immediately), but a damage report arriving on a late
+         acknowledgment must still reach this operator *)
+      List.iter
+        (fun (d : Msg.damage_report) ->
+          t.damage_seen <- (txn, d) :: t.damage_seen;
+          trace t
+            (Trace.Damage_detected
+               { time = now t; node = d.d_node; reported_to = t.name }))
+        damage
   | Some st -> (
       match List.find_opt (fun ch -> ch.ch_profile.p_name = src) st.children with
       | None -> ()
@@ -1471,6 +1508,7 @@ and handle_ack t ~src ~txn ~damage ~pending =
                    its operator) only (PA, basic) *)
                 List.iter
                   (fun (d : Msg.damage_report) ->
+                    t.damage_seen <- (txn, d) :: t.damage_seen;
                     trace t
                       (Trace.Damage_detected
                          { time = now t; node = d.d_node; reported_to = t.name }))
@@ -1500,7 +1538,18 @@ and handle_inquiry t ~src ~txn =
   | Some st -> (
       match st.outcome with
       | Some o when st.decision_durable -> reply (Some o)
-      | _ -> () (* still deciding: the normal flow will reach them *))
+      | _ ->
+          (* still deciding: the normal flow will reach them - except when
+             the inquirer is the very node we record as this transaction's
+             coordinator.  It is asking about a decision only it (or its
+             ancestors) could own: a recovered delegator polling its
+             children, or a root tricked by a forged Prepare into treating
+             one of its own subordinates as coordinator.  We have no
+             information for it, and saying so breaks the inquiry cycle -
+             the forged-Prepare victim's presumption resolves the whole
+             subtree, while a delegator ignores no-information replies by
+             design. *)
+          if st.parent = Some src then reply None)
   | None -> (
       match Hashtbl.find_opt t.ended txn with
       | Some o -> reply (Some o)
@@ -1555,6 +1604,30 @@ and handle_payload t ~src = function
   | Msg.Inquiry { txn } -> handle_inquiry t ~src ~txn
   | Msg.Inquiry_reply { txn; outcome } -> handle_inquiry_reply t ~txn outcome
 
+(* The honest-node defense: before acting on a payload, ask the protocol
+   whether an honest peer could have sent it, given who [src] is in our
+   static tree and what we durably know about the transaction.  A benign
+   run never trips this (CI holds chaos output byte-identical); a rejection
+   is counted and traced so the adversarial audit can report how many
+   forgeries the protocol caught. *)
+and admissible t ~src payload =
+  let role =
+    if t.parent_name = Some src then Protocol_intf.From_parent
+    else if List.exists (fun (p : profile) -> p.p_name = src) t.child_profiles
+    then Protocol_intf.From_child
+    else Protocol_intf.From_stranger
+  in
+  let txn = Msg.payload_txn payload in
+  let known =
+    match Hashtbl.find_opt t.ended txn with
+    | Some o -> Some o
+    | None -> (
+        match get_txn t txn with
+        | Some st when st.decision_durable -> st.outcome
+        | _ -> None)
+  in
+  t.proto.p_admissible ~src ~role ~known payload
+
 and handler t ~src payloads =
   if not t.crashed then begin
     trace t
@@ -1565,7 +1638,14 @@ and handler t ~src payloads =
            dst = t.name;
            label = Msg.bundle_label payloads;
          });
-    List.iter (handle_payload t ~src) payloads
+    List.iter
+      (fun payload ->
+        match admissible t ~src payload with
+        | None -> handle_payload t ~src payload
+        | Some reason ->
+            t.rejected <- t.rejected + 1;
+            trace t (Trace.Note { time = now t; node = t.name; text = reason }))
+      payloads
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1656,6 +1736,21 @@ and resume_in_doubt t ~txn =
   let st = new_txn_state t txn in
   set_phase t st Ph_in_doubt;
   st.parent <- t.parent_name;
+  (* a durable heuristic record survives the crash: the operator's override
+     is still in force, and the eventual real outcome must be checked
+     against it - and any damage reported - exactly as if we had never
+     crashed.  (This also keeps the restarted heuristic timer from firing
+     a second decision: {!arm_heuristic} is a no-op once an action is
+     recorded.) *)
+  List.iter
+    (fun (r : Wal.Log_record.t) ->
+      if r.node = t.name then
+        match r.kind with
+        | Wal.Log_record.Heuristic_commit ->
+            st.heuristic_action <- Some Committed
+        | Wal.Log_record.Heuristic_abort -> st.heuristic_action <- Some Aborted
+        | _ -> ())
+    (Wal.Log.records_for t.log ~txn);
   (* assume every static child voted YES so that the eventual decision is
      re-propagated through us *)
   st.children <-
@@ -1754,3 +1849,29 @@ let flush_piggybacks t =
   end
 
 let has_piggybacks t = List.exists (fun d -> not d.d_sent) t.deferred
+
+(* Adversarial injection: resolve an in-doubt transaction heuristically
+   right now, as if an impatient operator overrode the protocol at this
+   node.  A no-op unless the transaction is genuinely in doubt here with
+   no heuristic decision yet - the injector may race the real decision
+   arriving, and losing that race is the correct outcome.  Mirrors the
+   timer-driven path in [arm_heuristic] so the damage-reporting machinery
+   (resolve_heuristic, ack-borne reports) treats both identically. *)
+let force_heuristic t ~txn action =
+  if not t.crashed then
+    match get_txn t txn with
+    | Some st when st.phase = Ph_in_doubt && st.heuristic_action = None ->
+        st.heuristic_action <- Some action;
+        trace t (Trace.Heuristic { time = now t; node = t.name; action });
+        let kind =
+          match action with
+          | Committed -> Wal.Log_record.Heuristic_commit
+          | Aborted -> Wal.Log_record.Heuristic_abort
+        in
+        tm_force t ~txn:st.txn kind (fun () ->
+            apply_local t st action (fun () -> ()))
+    | _ -> ()
+
+let rejected_forgeries t = t.rejected
+
+let damage_seen t = List.rev t.damage_seen

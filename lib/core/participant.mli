@@ -114,3 +114,27 @@ val in_doubt_txns : t -> string list
     voters awaiting their coordinator and delegators awaiting their last
     agent.  Complements {!Kvstore.in_doubt}, which only covers states
     rebuilt by crash recovery. *)
+
+val force_heuristic : t -> txn:string -> Types.outcome -> unit
+(** Adversarial injection: resolve [txn] heuristically as [action] right
+    now, as if an impatient operator overrode the protocol at this node.
+    A no-op unless the transaction is in doubt here with no heuristic
+    decision yet (the injector may race the real decision arriving, and
+    losing that race is the correct outcome).  Takes the same path as the
+    heuristic timeout, so damage detection and reporting behave
+    identically. *)
+
+val rejected_forgeries : t -> int
+(** Payloads this node refused under the protocol's
+    {!Protocol_intf.t.p_admissible} check: forgeries an honest node can
+    detect from topology and its own durable state.  Always zero in a
+    benign run. *)
+
+val damage_seen : t -> (string * Msg.damage_report) list
+(** Heuristic-damage reports that reached this node's operator, oldest
+    first, as [(txn, report)] pairs.  The damaged member itself records the
+    mismatch the moment {e it} detects it (its own console is an operator
+    too), and ack-borne copies surface where the protocol says they stop:
+    at the immediate coordinator for PA/basic, at the root for PN.  The
+    adversarial audit uses this to distinguish reported from silent
+    heuristic damage. *)

@@ -50,6 +50,13 @@ type recovery_action =
       (** decide [outcome] now, tracing [note] first (PN's interrupted
           commit-pending coordinator aborts) *)
 
+(** Where a delivered payload claims to come from, relative to this node's
+    static position in the commit tree.  Honest nodes know their parent and
+    immediate children; that topology (plus their own durable state) is all
+    the evidence they have against forged messages - there are no
+    signatures in 2PC. *)
+type sender_role = From_parent | From_child | From_stranger
+
 type t = {
   p_id : protocol;  (** the {!Types.config} value selecting this protocol *)
   p_flag : string;  (** short CLI spelling, e.g. ["pa"] *)
@@ -92,6 +99,21 @@ type t = {
       (** same question right after restart rebuilds an in-doubt state *)
   p_recover : Wal.Log_record.kind list -> recovery_action;
       (** restart-time policy over the TM record kinds found for one txn *)
+  (* --- adversary hardening ----------------------------------------- *)
+  p_admissible :
+    src:string ->
+    role:sender_role ->
+    known:outcome option ->
+    Msg.payload ->
+    string option;
+      (** Validation an honest node runs on every delivered payload before
+          acting on it: [None] admits the payload, [Some reason] rejects it
+          (the plumbing counts the rejection and traces [reason]).  [known]
+          is this node's durable outcome for the payload's transaction, if
+          any.  The checks are protocol-level because what counts as a
+          protocol-violating message differs per family (PN subordinates
+          never inquire); they must never reject anything a benign run can
+          deliver.  See {!standard_admissible}. *)
 }
 
 (** Send an {!Msg.Inquiry} for [txn] to every target: the subordinate-
@@ -110,3 +132,72 @@ let standard_recover kinds =
   else if has Wal.Log_record.Aborted then Rec_redrive Aborted
   else if has Wal.Log_record.Prepared then Rec_in_doubt
   else Rec_none
+
+(** The txn-id/topology validation shared by the paper's three families.
+    What an honest node {e can} detect without signatures:
+    - a decision that contradicts its own durable outcome for that
+      transaction (an equivocating or forged retransmission: honest
+      coordinators never flip a decision);
+    - a decision for a transaction it knows nothing about, from a node
+      that is neither its coordinator nor one of its subordinates;
+    - votes, acknowledgments, application data, inquiries and inquiry
+      replies from topology strangers (acknowledgments additionally must
+      come from a subordinate);
+    - a non-delegation vote arriving from its own parent: votes flow
+      upward, and the only downward vote is a delegation handoff.
+
+    What it deliberately does {e not} reject:
+    - Prepare from anyone: dual commit initiation (Figure 5) is legal and
+      the state machine itself detects and aborts it, so topology cannot
+      condemn a Prepare;
+    - a stranger's decision that merely confirms what we already decided
+      (the idempotent tail of Figure 5's dual abort);
+    - anything from our real parent or children - a forged decision from
+      the coordinator's own address is indistinguishable from a real one,
+      which is exactly the trust assumption the adversarial chaos matrix
+      measures. *)
+let standard_admissible ~src ~role ~known payload =
+  let reject fmt = Printf.ksprintf Option.some fmt in
+  let label = Msg.payload_label payload in
+  match (payload : Msg.payload) with
+  | Msg.Prepare _ -> None
+  | Msg.Decision_msg { outcome; _ } -> (
+      match known with
+      | Some o when o <> outcome ->
+          reject "rejecting %s from %s: contradicts our durable %s (forgery?)"
+            label src (outcome_to_string o)
+      | Some _ -> None
+      | None -> (
+          match role with
+          | From_parent | From_child -> None
+          | From_stranger ->
+              reject "rejecting %s from stranger %s: not our coordinator"
+                label src))
+  | Msg.Ack_msg _ -> (
+      match role with
+      | From_child -> None
+      | From_parent | From_stranger ->
+          reject "rejecting %s from %s: acknowledgments come from subordinates"
+            label src)
+  | Msg.Vote_msg { delegation; _ } -> (
+      match role with
+      | From_child -> None
+      | From_parent ->
+          (* the only vote that legally travels downward is a delegation
+             (the coordinator handing its last agent the decision); a plain
+             vote from our parent is the echo of a forged Prepare we were
+             tricked into cascading, and acting on it would materialize
+             ghost transaction state here *)
+          if delegation then None
+          else
+            reject "rejecting %s from %s: only delegation votes flow downward"
+              label src
+      | From_stranger ->
+          reject "rejecting %s from stranger %s: outside the commit tree"
+            label src)
+  | Msg.Data _ | Msg.Inquiry _ | Msg.Inquiry_reply _ -> (
+      match role with
+      | From_parent | From_child -> None
+      | From_stranger ->
+          reject "rejecting %s from stranger %s: outside the commit tree"
+            label src)

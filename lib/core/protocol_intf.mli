@@ -46,6 +46,13 @@ type recovery_action =
       (** decide [outcome] now, tracing [note] first (PN's interrupted
           commit-pending coordinator aborts) *)
 
+(** Where a delivered payload claims to come from, relative to the
+    receiving node's static position in the commit tree.  Honest nodes know
+    their parent and immediate children; that topology plus their own
+    durable state is all the evidence they have against forged messages -
+    there are no signatures in 2PC. *)
+type sender_role = From_parent | From_child | From_stranger
+
 type t = {
   p_id : Types.protocol;
       (** the {!Types.config} value selecting this protocol *)
@@ -85,6 +92,24 @@ type t = {
       (** same question right after restart rebuilds an in-doubt state *)
   p_recover : Wal.Log_record.kind list -> recovery_action;
       (** restart-time policy over the TM record kinds found for one txn *)
+  p_admissible :
+    src:string ->
+    role:sender_role ->
+    known:Types.outcome option ->
+    Msg.payload ->
+    string option;
+      (** Validation an honest node runs on every delivered payload before
+          acting on it: [None] admits the payload, [Some reason] rejects it
+          (the plumbing counts the rejection toward
+          {!Participant.rejected_forgeries} and traces [reason]).  [known]
+          is the receiver's durable outcome for the payload's transaction,
+          if any.  The checks live in the protocol, not the network,
+          because what counts as a protocol-violating message differs per
+          family (PN subordinates never inquire, so PN rejects every
+          Inquiry); implementations must never reject anything a benign
+          run can deliver — dual commit initiation (Figure 5) makes
+          Prepare-from-a-stranger legal, for example.  Start from
+          {!standard_admissible}. *)
 }
 
 val send_inquiries : ops -> txn:string -> targets:string list -> unit
@@ -96,3 +121,25 @@ val standard_recover : Wal.Log_record.kind list -> recovery_action
     finished; a durable outcome is re-driven; a dangling prepare means in
     doubt; anything else (including heuristic records, which were resolved
     locally when written) needs no driving. *)
+
+val standard_admissible :
+  src:string ->
+  role:sender_role ->
+  known:Types.outcome option ->
+  Msg.payload ->
+  string option
+(** The txn-id/topology validation shared by the paper's three families.
+    Rejects: decisions contradicting the receiver's durable outcome
+    (honest coordinators never flip a decision); decisions for unknown
+    transactions from topology strangers; votes, data, inquiries and
+    inquiry replies from strangers; acknowledgments from anyone but a
+    subordinate; non-delegation votes arriving from the receiver's own
+    parent (votes flow upward - a downward one is the echo of a forged
+    Prepare the receiver's parent was tricked into cascading).
+    Deliberately admits: Prepare from anyone (dual commit
+    initiation, Figure 5, is legal and handled by the state machine), a
+    stranger's decision confirming what the receiver already decided, and
+    everything from the real parent or children - a forgery from the
+    coordinator's own address is indistinguishable from the genuine
+    message, which is exactly the trust assumption the adversarial chaos
+    matrix measures. *)

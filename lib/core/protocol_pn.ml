@@ -71,4 +71,16 @@ let protocol : Protocol_intf.t =
               note = "PN recovery: commit-pending without outcome - aborting";
             }
         else Protocol_intf.Rec_none);
+    (* PN subordinates never inquire (recovery is coordinator-owned), so
+       any Inquiry is a protocol violation PN can reject outright; the
+       shared topology/known-outcome checks cover the rest *)
+    p_admissible =
+      (fun ~src ~role ~known payload ->
+        match payload with
+        | Msg.Inquiry _ ->
+            Some
+              (Printf.sprintf
+                 "rejecting inquiry from %s: PN recovery is coordinator-owned"
+                 src)
+        | _ -> Protocol_intf.standard_admissible ~src ~role ~known payload);
   }

@@ -130,6 +130,7 @@ type chaos_params = {
   ch_shrink : bool;
   ch_protocol_flag : string;
   ch_n : int;
+  ch_adversary : bool;
 }
 
 type chaos_cell = {
@@ -138,11 +139,22 @@ type chaos_cell = {
   cc_line : string;
   cc_repro : string option;
   cc_stats : Simkernel.Engine.stats;
+  cc_accounting : Faultlab.accounting option;
 }
 
 let chaos_cells ?progress ~jobs p =
   let nodes = Faultlab.tree_nodes p.ch_tree in
   let config = p.ch_config |> with_trace_events false in
+  (* Adversary mode is explicit (--adversary generated plans) or inferred
+     from a fixed plan's content, so a pasted adversarial repro replays
+     under the same classified audit that produced it. *)
+  let adversary =
+    p.ch_adversary
+    ||
+    match p.ch_plan with
+    | Some plan -> Faultlab.is_adversarial plan
+    | None -> false
+  in
   let one seed () =
     let cfg = { p.ch_mixer with Tpc.Mixer.seed } in
     let plan =
@@ -150,19 +162,40 @@ let chaos_cells ?progress ~jobs p =
       | Some plan -> plan
       | None -> Faultlab.gen ~seed ~nodes p.ch_gen
     in
-    let agg, v, w =
-      Faultlab.run_case_full ~config ~broken_recovery:p.ch_broken cfg
-        p.ch_tree plan
+    let agg, v, acc_opt, w =
+      if adversary then
+        let agg, v, acc, w =
+          Faultlab.run_case_adversarial ~config ~broken_recovery:p.ch_broken
+            cfg p.ch_tree plan
+        in
+        (agg, v, Some acc, w)
+      else
+        let agg, v, w =
+          Faultlab.run_case_full ~config ~broken_recovery:p.ch_broken cfg
+            p.ch_tree plan
+        in
+        (agg, v, None, w)
     in
-    let violated = not (Faultlab.ok v) in
+    let violated =
+      match acc_opt with
+      | Some acc -> not (Faultlab.adversarial_ok v acc)
+      | None -> not (Faultlab.ok v)
+    in
     let minimized =
       if violated && p.ch_shrink then begin
         let check candidate =
-          let _, v' =
-            Faultlab.run_case ~config ~broken_recovery:p.ch_broken cfg
-              p.ch_tree candidate
-          in
-          not (Faultlab.ok v')
+          if adversary then
+            let _, v', acc', _ =
+              Faultlab.run_case_adversarial ~config
+                ~broken_recovery:p.ch_broken cfg p.ch_tree candidate
+            in
+            not (Faultlab.adversarial_ok v' acc')
+          else
+            let _, v' =
+              Faultlab.run_case ~config ~broken_recovery:p.ch_broken cfg
+                p.ch_tree candidate
+            in
+            not (Faultlab.ok v')
         in
         Some (Faultlab.shrink ~check plan)
       end
@@ -174,11 +207,12 @@ let chaos_cells ?progress ~jobs p =
           Printf.sprintf
             "tpc_sim chaos: seed %d VIOLATION; minimized to %d event(s); \
              replay with:\n\
-            \  tpc_sim chaos -p %s -n %d --seed %d --seeds 1 --txns %d -c \
-             %d%s --plan '%s'\n"
+            \  tpc_sim chaos --protocol %s -n %d --seed %d --seeds 1 --txns \
+             %d -c %d%s%s --plan '%s'\n"
             seed (List.length small) p.ch_protocol_flag p.ch_n seed
             cfg.Tpc.Mixer.txns cfg.Tpc.Mixer.concurrency
             (if p.ch_broken then " --broken-recovery" else "")
+            (if adversary then " --adversary" else "")
             (Faultlab.to_string small))
         minimized
     in
@@ -195,6 +229,12 @@ let chaos_cells ?progress ~jobs p =
         @ List.map
             (fun (k, c) -> (k, Tpc.Json.Int c))
             (Faultlab.verdict_fields v)
+        @ (match acc_opt with
+          | Some acc ->
+              List.map
+                (fun (k, c) -> (k, Tpc.Json.Int c))
+                (Faultlab.accounting_fields acc)
+          | None -> [])
         @
         match minimized with
         | Some small ->
@@ -208,6 +248,7 @@ let chaos_cells ?progress ~jobs p =
         cc_line = Tpc.Json.to_string line;
         cc_repro = repro;
         cc_stats = Simkernel.Engine.stats w.Tpc.Run.engine;
+        cc_accounting = acc_opt;
       }
     in
     ((cell, w.Tpc.Run.registry), Printf.sprintf "seed %d" seed)

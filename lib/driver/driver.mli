@@ -64,6 +64,13 @@ type chaos_params = {
   ch_shrink : bool;  (** shrink violating schedules *)
   ch_protocol_flag : string;  (** CLI spelling, for the replay hint *)
   ch_n : int;  (** CLI [-n], for the replay hint *)
+  ch_adversary : bool;
+      (** run the damage-accounting audit and emit its classification
+          fields on every JSONL line; a seed then fails on
+          {!Faultlab.adversarial_ok} (silent damage / broken world)
+          instead of the benign {!Faultlab.ok}.  Forced on when [ch_plan]
+          contains adversarial events, so pasted repros replay under the
+          audit that produced them. *)
 }
 
 type chaos_cell = {
@@ -73,6 +80,9 @@ type chaos_cell = {
   cc_repro : string option;
       (** the stderr replay hint, when the violation was shrunk *)
   cc_stats : Simkernel.Engine.stats;
+  cc_accounting : Faultlab.accounting option;
+      (** the damage classification, in adversary mode only - the CLI
+          folds these into the per-protocol verdict matrix *)
 }
 
 val chaos_cells :

@@ -2,6 +2,8 @@
    live mixer world, fault-aware acceptance audit, greedy schedule
    shrinking.  See faultlab.mli for the contract. *)
 
+type forge_kind = Forge_prepare | Forge_commit | Forge_abort
+
 type event =
   | Crash of { at : float; node : string; restart_after : float option }
   | Partition of {
@@ -12,8 +14,19 @@ type event =
     }
   | Drop of { at : float; src : string; dst : string; nth : int }
   | Jitter of { at : float; src : string; dst : string; amp : float }
+  (* adversarial vocabulary: a Byzantine relay and a rogue operator *)
+  | Equivocate of { at : float; node : string; count : int }
+  | Flip_vote of { at : float; src : string; dst : string; nth : int }
+  | Forge of { at : float; src : string; dst : string; kind : forge_kind }
+  | Force_heuristic of { at : float; node : string; action : Tpc.Types.outcome }
 
 type plan = event list
+
+let is_adversarial_event = function
+  | Equivocate _ | Flip_vote _ | Forge _ | Force_heuristic _ -> true
+  | Crash _ | Partition _ | Drop _ | Jitter _ -> false
+
+let is_adversarial plan = List.exists is_adversarial_event plan
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
@@ -25,6 +38,15 @@ let fl x = Printf.sprintf "%.12g" x
 
 let opt_delay = function Some d -> "+" ^ fl d | None -> "-"
 
+let forge_kind_to_string = function
+  | Forge_prepare -> "prepare"
+  | Forge_commit -> "commit"
+  | Forge_abort -> "abort"
+
+let action_to_string = function
+  | Tpc.Types.Committed -> "commit"
+  | Tpc.Types.Aborted -> "abort"
+
 let event_to_string = function
   | Crash { at; node; restart_after } ->
       Printf.sprintf "crash@%s:%s:%s" (fl at) node (opt_delay restart_after)
@@ -34,6 +56,15 @@ let event_to_string = function
       Printf.sprintf "drop@%s:%s>%s:%d" (fl at) src dst nth
   | Jitter { at; src; dst; amp } ->
       Printf.sprintf "jit@%s:%s>%s:%s" (fl at) src dst (fl amp)
+  | Equivocate { at; node; count } ->
+      Printf.sprintf "equiv@%s:%s:%d" (fl at) node count
+  | Flip_vote { at; src; dst; nth } ->
+      Printf.sprintf "flip@%s:%s>%s:%d" (fl at) src dst nth
+  | Forge { at; src; dst; kind } ->
+      Printf.sprintf "forge@%s:%s>%s:%s" (fl at) src dst
+        (forge_kind_to_string kind)
+  | Force_heuristic { at; node; action } ->
+      Printf.sprintf "heur@%s:%s:%s" (fl at) node (action_to_string action)
 
 let to_string plan = String.concat "," (List.map event_to_string plan)
 
@@ -75,6 +106,35 @@ let parse_event tok =
       | "jit" ->
           let src, dst = split2 '>' spec tok in
           Jitter { at; src; dst; amp = parse_float arg tok }
+      | "equiv" ->
+          let count = match int_of_string_opt arg with
+            | Some n when n >= 1 -> n
+            | _ -> bad tok
+          in
+          Equivocate { at; node = spec; count }
+      | "flip" ->
+          let src, dst = split2 '>' spec tok in
+          let nth = match int_of_string_opt arg with
+            | Some n when n >= 1 -> n
+            | _ -> bad tok
+          in
+          Flip_vote { at; src; dst; nth }
+      | "forge" ->
+          let src, dst = split2 '>' spec tok in
+          let kind = match arg with
+            | "prepare" -> Forge_prepare
+            | "commit" -> Forge_commit
+            | "abort" -> Forge_abort
+            | _ -> bad tok
+          in
+          Forge { at; src; dst; kind }
+      | "heur" ->
+          let action = match arg with
+            | "commit" -> Tpc.Types.Committed
+            | "abort" -> Tpc.Types.Aborted
+            | _ -> bad tok
+          in
+          Force_heuristic { at; node = spec; action }
       | _ -> bad tok)
   | _ -> bad tok
 
@@ -96,6 +156,13 @@ type gen_cfg = {
   mean_downtime : float;
   mean_partition : float;
   jitter_amp : float;
+  (* adversarial event counts; all default 0, and their draws come after
+     every benign draw, so benign plans are byte-identical to pre-adversary
+     faultlab for the same seed *)
+  equivocations : int;
+  vote_flips : int;
+  forgeries : int;
+  forced_heuristics : int;
 }
 
 let default_gen =
@@ -109,13 +176,18 @@ let default_gen =
     mean_downtime = 150.0;
     mean_partition = 120.0;
     jitter_amp = 4.0;
+    equivocations = 0;
+    vote_flips = 0;
+    forgeries = 0;
+    forced_heuristics = 0;
   }
 
 let norm x = Float.round (x *. 1000.0) /. 1000.0
 
 let event_time = function
   | Crash { at; _ } | Partition { at; _ } | Drop { at; _ } | Jitter { at; _ }
-    ->
+  | Equivocate { at; _ } | Flip_vote { at; _ } | Forge { at; _ }
+  | Force_heuristic { at; _ } ->
       at
 
 let sort_plan plan =
@@ -172,6 +244,37 @@ let gen ~seed ~nodes cfg =
       push (Jitter { at = at (); src; dst; amp })
     done
   end;
+  (* adversarial draws strictly after every benign draw: a plan generated
+     with all adversarial counts at zero consumes the identical RNG prefix
+     and is byte-identical to one from the pre-adversary generator *)
+  for _ = 1 to cfg.equivocations do
+    push
+      (Equivocate
+         { at = at (); node = pick (); count = 1 + Simkernel.Det_rng.int rng 3 })
+  done;
+  if Array.length arr >= 2 then begin
+    for _ = 1 to cfg.vote_flips do
+      let src, dst = pick_pair () in
+      push (Flip_vote { at = at (); src; dst; nth = 1 + Simkernel.Det_rng.int rng 3 })
+    done;
+    for _ = 1 to cfg.forgeries do
+      let src, dst = pick_pair () in
+      let kind =
+        match Simkernel.Det_rng.int rng 3 with
+        | 0 -> Forge_prepare
+        | 1 -> Forge_commit
+        | _ -> Forge_abort
+      in
+      push (Forge { at = at (); src; dst; kind })
+    done
+  end;
+  for _ = 1 to cfg.forced_heuristics do
+    let action =
+      if Simkernel.Det_rng.int rng 2 = 0 then Tpc.Types.Committed
+      else Tpc.Types.Aborted
+    in
+    push (Force_heuristic { at = at (); node = pick (); action })
+  done;
   sort_plan !evs
 
 let tree_nodes tree =
@@ -180,6 +283,23 @@ let tree_nodes tree =
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
+
+let flip_outcome = function
+  | Tpc.Types.Committed -> Tpc.Types.Aborted
+  | Tpc.Types.Aborted -> Tpc.Types.Committed
+
+let flip_vote = function
+  | Tpc.Types.Vote_yes _ -> Tpc.Types.Vote_no
+  | Tpc.Types.Vote_no -> Tpc.Types.Vote_yes { reliable = false; leave_out_ok = false }
+  | Tpc.Types.Vote_read_only -> Tpc.Types.Vote_read_only
+
+let cell tbl key init =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = ref init in
+      Hashtbl.replace tbl key r;
+      r
 
 let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
     (w : Tpc.Run.world) =
@@ -200,6 +320,48 @@ let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
            | Some amp -> Simkernel.Det_rng.float jrng amp
            | None -> 0.0))
   end;
+  (* The Byzantine relay: one netsim mutator serves both equivocation
+     (flip the next [count] outcomes this node announces, so different
+     members hear different decisions) and in-flight vote flipping (the
+     [nth] vote on a link, counted like [drop_nth], turns YES into NO or
+     NO into YES).  Installed only when the plan needs it, so benign plans
+     leave the network untouched. *)
+  let equiv_left : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let votes_seen : (string * string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let flip_targets : (string * string, int list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  if
+    List.exists
+      (function Equivocate _ | Flip_vote _ -> true | _ -> false)
+      plan
+  then
+    Tpc.Net.set_mutator net
+      (Some
+         (fun ~src ~dst payloads ->
+           List.map
+             (fun (p : Tpc.Msg.payload) ->
+               match p with
+               | Tpc.Msg.Decision_msg { txn; outcome } -> (
+                   match Hashtbl.find_opt equiv_left src with
+                   | Some n when !n > 0 ->
+                       decr n;
+                       Tpc.Msg.Decision_msg
+                         { txn; outcome = flip_outcome outcome }
+                   | _ -> p)
+               | Tpc.Msg.Vote_msg v ->
+                   let seen = cell votes_seen (src, dst) 0 in
+                   incr seen;
+                   let targets = cell flip_targets (src, dst) [] in
+                   if List.mem !seen !targets then begin
+                     targets := List.filter (fun n -> n <> !seen) !targets;
+                     Tpc.Msg.Vote_msg { v with vote = flip_vote v.vote }
+                   end
+                   else p
+               | _ -> p)
+             payloads))
+  else ();
+  let forge_seq = ref 0 in
   List.iter
     (function
       | Crash { at; node; restart_after } ->
@@ -228,7 +390,66 @@ let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
           if known src && known dst && src <> dst then
             sched_at ~at (fun () -> Tpc.Net.drop_nth net ~src ~dst ~nth)
       | Jitter { at; src; dst; amp } ->
-          sched_at ~at (fun () -> Hashtbl.replace jit_amps (src, dst) amp))
+          sched_at ~at (fun () -> Hashtbl.replace jit_amps (src, dst) amp)
+      | Equivocate { at; node; count } ->
+          if known node then
+            sched_at ~at (fun () ->
+                let c = cell equiv_left node 0 in
+                c := !c + count)
+      | Flip_vote { at; src; dst; nth } ->
+          if known src && known dst && src <> dst then
+            sched_at ~at (fun () ->
+                (* like [drop_nth]: the nth vote counted from activation *)
+                let seen = !(cell votes_seen (src, dst) 0) in
+                let targets = cell flip_targets (src, dst) [] in
+                targets := (seen + nth) :: !targets)
+      | Forge { at; src; dst; kind } ->
+          if known src && known dst && src <> dst then begin
+            (* ghost ids are assigned in plan order at scheduling time, so
+               the same plan string always forges the same transactions *)
+            let ghost = Printf.sprintf "forged-%d" !forge_seq in
+            incr forge_seq;
+            sched_at ~at (fun () ->
+                let payload =
+                  match kind with
+                  | Forge_prepare ->
+                      (* a stale/wrong-txn-id prepare retransmission *)
+                      Tpc.Msg.Prepare { txn = ghost; long_locks = false }
+                  | Forge_commit | Forge_abort ->
+                      (* a forged decision targets whatever the victim is
+                         actually blocked on - the adversary reads the
+                         wire, so it knows which transactions are in
+                         doubt; with nothing in doubt it replays a stale
+                         decision for a ghost transaction *)
+                      let txn =
+                        let n = List.assoc dst w.Tpc.Run.nodes in
+                        match
+                          Tpc.Participant.in_doubt_txns n.Tpc.Run.participant
+                        with
+                        | t :: _ -> t
+                        | [] -> (
+                            match
+                              List.sort compare (Kvstore.in_doubt n.Tpc.Run.kv)
+                            with
+                            | t :: _ -> t
+                            | [] -> ghost)
+                      in
+                      let outcome =
+                        match kind with
+                        | Forge_commit -> Tpc.Types.Committed
+                        | _ -> Tpc.Types.Aborted
+                      in
+                      Tpc.Msg.Decision_msg { txn; outcome }
+                in
+                Tpc.Net.inject net ~src ~dst [ payload ])
+          end
+      | Force_heuristic { at; node; action } ->
+          if known node then
+            sched_at ~at (fun () ->
+                let p = Tpc.Run.participant w node in
+                List.iter
+                  (fun txn -> Tpc.Participant.force_heuristic p ~txn action)
+                  (Tpc.Participant.in_doubt_txns p)))
     plan
 
 (* ------------------------------------------------------------------ *)
@@ -345,6 +566,207 @@ let audit (w : Tpc.Run.world) summaries =
     v_in_doubt = !in_doubt_count;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Damage accounting (adversarial audit)                               *)
+(* ------------------------------------------------------------------ *)
+
+type accounting = {
+  a_atomicity : int;
+  a_heur_reported : int;
+  a_heur_silent : int;
+  a_blocked : int;
+  a_rejected : int;
+}
+
+let accounting_fields a =
+  [
+    ("atomicity_violations", a.a_atomicity);
+    ("heur_damage_reported", a.a_heur_reported);
+    ("heur_damage_silent", a.a_heur_silent);
+    ("blocked", a.a_blocked);
+    ("rejected_forgeries", a.a_rejected);
+  ]
+
+(* RM records are logged under "<member>.rm"; map them back to the member
+   so heuristic-tainted RM evidence can be told apart from honest RM
+   evidence. *)
+let strip_rm n =
+  if Filename.check_suffix n ".rm" then Filename.chop_suffix n ".rm" else n
+
+let account (w : Tpc.Run.world) (summaries : Tpc.Mixer.txn_summary list) =
+  let net = w.Tpc.Run.net in
+  let wals = Tpc.Run.all_wals w in
+  (* pass 1: where were heuristic decisions taken, and which way? *)
+  let heur : (string * string, Tpc.Types.outcome) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun wal ->
+      List.iter
+        (fun (r : Wal.Log_record.t) ->
+          match r.kind with
+          | Wal.Log_record.Heuristic_commit ->
+              Hashtbl.replace heur (r.node, r.txn) Tpc.Types.Committed
+          | Wal.Log_record.Heuristic_abort ->
+              Hashtbl.replace heur (r.node, r.txn) Tpc.Types.Aborted
+          | _ -> ())
+        (Wal.Log.all_records wal))
+    wals;
+  (* pass 2: per-transaction "strong" (non-heuristic) evidence.  A TM
+     outcome record is always honest knowledge (resolve_heuristic appends
+     the real outcome even at a damaged node); an RM record counts only
+     when its member did not reach that state heuristically. *)
+  let commit_strong : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let abort_strong : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* what each node was durably told the outcome was - under an
+     equivocating coordinator this can be a lie, which is how heuristic
+     damage gets concealed from its own member *)
+  let told : (string * string, Tpc.Types.outcome) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun wal ->
+      List.iter
+        (fun (r : Wal.Log_record.t) ->
+          match r.kind with
+          | Wal.Log_record.Committed ->
+              Hashtbl.replace told (r.node, r.txn) Tpc.Types.Committed;
+              Hashtbl.replace commit_strong r.txn ()
+          | Wal.Log_record.Aborted ->
+              Hashtbl.replace told (r.node, r.txn) Tpc.Types.Aborted;
+              Hashtbl.replace abort_strong r.txn ()
+          | Wal.Log_record.Rm_committed ->
+              if
+                Hashtbl.find_opt heur (strip_rm r.node, r.txn)
+                <> Some Tpc.Types.Committed
+              then Hashtbl.replace commit_strong r.txn ()
+          | Wal.Log_record.Rm_aborted ->
+              if
+                Hashtbl.find_opt heur (strip_rm r.node, r.txn)
+                <> Some Tpc.Types.Aborted
+              then Hashtbl.replace abort_strong r.txn ()
+          | _ -> ())
+        (Wal.Log.all_records wal))
+    wals;
+  (* which damage reports reached an operator console (the damaged member
+     records its own detection; ack-borne copies land at coordinators) *)
+  let seen : (string * string * Tpc.Types.outcome, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let report_truth : (string, Tpc.Types.outcome) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (_, (n : Tpc.Run.node)) ->
+      List.iter
+        (fun (txn, (d : Tpc.Msg.damage_report)) ->
+          Hashtbl.replace seen (txn, d.Tpc.Msg.d_node, d.Tpc.Msg.d_action) ();
+          Hashtbl.replace report_truth txn d.Tpc.Msg.d_outcome)
+        (Tpc.Participant.damage_seen n.Tpc.Run.participant))
+    w.Tpc.Run.nodes;
+  (* ground truth per transaction: the root's announced outcome when there
+     is one (a vote flipped to YES makes the root commit - that commit IS
+     the decision the protocol reached; the flipped voter's unilateral
+     abort is the violation), else strong durable evidence, else the
+     outcome some member resolved its heuristic against (a presumed abort
+     can leave no durable record, but its damage report names it).  [None]
+     means nobody ever decided - a ghost transaction the adversary forged
+     into existence; a heuristic on it is not (yet) damage, because there
+     is no decision to contradict, and its member stays blocked. *)
+  let announced : (string, Tpc.Types.outcome) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Tpc.Mixer.txn_summary) ->
+      match s.Tpc.Mixer.ts_outcome with
+      | Some o -> Hashtbl.replace announced s.Tpc.Mixer.ts_txn o
+      | None -> ())
+    summaries;
+  let real_outcome txn =
+    match Hashtbl.find_opt announced txn with
+    | Some o -> Some o
+    | None ->
+        if Hashtbl.mem commit_strong txn then Some Tpc.Types.Committed
+        else if Hashtbl.mem abort_strong txn then Some Tpc.Types.Aborted
+        else Hashtbl.find_opt report_truth txn
+  in
+  (* atomicity violation: some node durably landed on the opposite of the
+     decision the protocol really reached - two coordinations durably
+     disagreeing, or an equivocation victim durably believing the flipped
+     decision (PA aborts leave no durable record at honest members, so the
+     real outcome, not abort-side evidence, anchors the test).  Divergence
+     where the contradicting side is heuristic-only is heuristic damage,
+     not an atomicity violation - the protocol did not disagree with
+     itself, an operator overrode it. *)
+  let strong_txns : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter (fun txn () -> Hashtbl.replace strong_txns txn ()) commit_strong;
+  Hashtbl.iter (fun txn () -> Hashtbl.replace strong_txns txn ()) abort_strong;
+  let atomicity =
+    Hashtbl.fold
+      (fun txn () acc ->
+        match real_outcome txn with
+        | Some Tpc.Types.Committed when Hashtbl.mem abort_strong txn -> acc + 1
+        | Some Tpc.Types.Aborted when Hashtbl.mem commit_strong txn -> acc + 1
+        | _ -> acc)
+      strong_txns 0
+  in
+  let blocked = ref 0 in
+  let rejected = ref 0 in
+  let in_doubt_at : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, (n : Tpc.Run.node)) ->
+      let p = n.Tpc.Run.participant in
+      rejected := !rejected + Tpc.Participant.rejected_forgeries p;
+      List.iter
+        (fun txn -> Hashtbl.replace in_doubt_at (name, txn) ())
+        (Tpc.Participant.in_doubt_txns p);
+      if Tpc.Net.is_up net name then
+        blocked :=
+          !blocked
+          + List.length (Tpc.Participant.in_doubt_txns p)
+          + List.length (Kvstore.in_doubt n.Tpc.Run.kv))
+    w.Tpc.Run.nodes;
+  (* Classify each heuristic decision.  Damage exists only against a real
+     outcome; a damaged member still in doubt has not yet learned that
+     outcome (it is counted blocked, and its report is owed at
+     resolution), and a damaged member that is down reports at recovery -
+     the same excuses the benign audit grants.  What remains silent is the
+     auditable bug class: an up member that resolved (or forgot) a
+     contradicting heuristic with no operator console anywhere recording
+     it. *)
+  let reported = ref 0 and silent = ref 0 in
+  Hashtbl.iter
+    (fun (node, txn) action ->
+      match real_outcome txn with
+      | None -> ()
+      | Some o when action = o -> ()
+      | Some _ ->
+          if Hashtbl.find_opt told (node, txn) = Some action then
+            (* the member was durably told its heuristic matched - an
+               equivocator flipped the resolving decision in flight, so no
+               honest party can see damage here.  The divergence is real
+               and counted: the member's durable outcome contradicts the
+               protocol's, an atomicity violation. *)
+            ()
+          else if Hashtbl.mem seen (txn, node, action) then incr reported
+          else if
+            Tpc.Net.is_up net node && not (Hashtbl.mem in_doubt_at (node, txn))
+          then incr silent)
+    heur;
+  {
+    a_atomicity = atomicity;
+    a_heur_reported = !reported;
+    a_heur_silent = !silent;
+    a_blocked = !blocked;
+    a_rejected = !rejected;
+  }
+
+(* Under an adversary, atomicity violations and reported heuristic damage
+   are the measurement, not a harness failure; what must never happen is
+   damage nobody heard about, or a broken world (store diverging from its
+   log, leaked locks, a wedged engine). *)
+let adversarial_ok (v : verdict) (a : accounting) =
+  a.a_heur_silent = 0 && v.v_wal_divergence = 0 && v.v_leaked_locks = 0
+  && v.v_engine_pending = 0
+
 let run_case_full ?config ?(broken_recovery = false) ?jitter_seed mix tree plan
     =
   let agg, w, summaries =
@@ -357,6 +779,15 @@ let run_case_full ?config ?(broken_recovery = false) ?jitter_seed mix tree plan
 let run_case ?config ?broken_recovery ?jitter_seed mix tree plan =
   let agg, v, _w = run_case_full ?config ?broken_recovery ?jitter_seed mix tree plan in
   (agg, v)
+
+let run_case_adversarial ?config ?(broken_recovery = false) ?jitter_seed mix
+    tree plan =
+  let agg, w, summaries =
+    Tpc.Mixer.run_full ?config
+      ~inject:(inject ~broken_recovery ?jitter_seed plan)
+      mix tree
+  in
+  (agg, audit w summaries, account w summaries, w)
 
 (* ------------------------------------------------------------------ *)
 (* Schedule shrinking                                                  *)

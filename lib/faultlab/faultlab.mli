@@ -17,6 +17,9 @@
 
 (** {2 Fault plans} *)
 
+(** What a forged message claims to be. *)
+type forge_kind = Forge_prepare | Forge_commit | Forge_abort
+
 type event =
   | Crash of { at : float; node : string; restart_after : float option }
       (** crash [node] at [at]; restart (with full recovery) after
@@ -32,12 +35,37 @@ type event =
           [src -> dst] link *)
   | Jitter of { at : float; src : string; dst : string; amp : float }
       (** from [at] on, add uniform [0, amp) delay jitter to the link *)
+  | Equivocate of { at : float; node : string; count : int }
+      (** from [at] on, the next [count] decision payloads [node] sends
+          have their outcome flipped in flight: different members hear
+          different decisions from the same coordinator *)
+  | Flip_vote of { at : float; src : string; dst : string; nth : int }
+      (** flip the [nth] vote payload (1-based, counted from [at]) on the
+          [src -> dst] link: YES becomes NO, NO becomes a plain YES *)
+  | Forge of { at : float; src : string; dst : string; kind : forge_kind }
+      (** at [at], [dst] receives a fabricated message claiming to be from
+          [src]: a prepare for a ghost transaction ([Forge_prepare]), or a
+          decision targeting whatever [dst] is currently blocked on (a
+          ghost transaction if nothing is in doubt) *)
+  | Force_heuristic of { at : float; node : string; action : Tpc.Types.outcome }
+      (** at [at], every transaction in doubt at [node] is resolved
+          heuristically as [action], as if an impatient operator overrode
+          the protocol *)
 
 type plan = event list
 
+val is_adversarial_event : event -> bool
+
+val is_adversarial : plan -> bool
+(** True iff the plan contains at least one adversarial event
+    (equivocation, vote flip, forgery or forced heuristic); such plans get
+    the damage-accounting audit instead of the benign pass/fail check. *)
+
 val event_to_string : event -> string
 (** Compact one-token form: [crash@T:node:+D] (or [:-] for no restart),
-    [part@T:a|b:+D] (or [:-]), [drop@T:src>dst:n], [jit@T:src>dst:amp]. *)
+    [part@T:a|b:+D] (or [:-]), [drop@T:src>dst:n], [jit@T:src>dst:amp],
+    [equiv@T:node:k], [flip@T:src>dst:n], [forge@T:src>dst:kind] (kind one
+    of [prepare]/[commit]/[abort]), [heur@T:node:commit|abort]. *)
 
 val to_string : plan -> string
 (** Events joined with [","]; the empty plan is [""]. *)
@@ -59,13 +87,20 @@ type gen_cfg = {
   mean_downtime : float;  (** mean restart delay (exponential) *)
   mean_partition : float;  (** mean heal delay (exponential) *)
   jitter_amp : float;  (** max per-link jitter amplitude *)
+  equivocations : int;  (** adversarial counts; all zero in [default_gen] *)
+  vote_flips : int;
+  forgeries : int;
+  forced_heuristics : int;
 }
 
 val default_gen : gen_cfg
 
 val gen : seed:int -> nodes:string list -> gen_cfg -> plan
-(** Compile a fault plan from [seed], sorted by time.  Partition, drop and
-    jitter events need at least two nodes and are skipped otherwise.
+(** Compile a fault plan from [seed], sorted by time.  Partition, drop,
+    jitter, vote-flip and forgery events need at least two nodes and are
+    skipped otherwise.  Adversarial draws come strictly after every benign
+    draw, so with the adversarial counts at zero the generated plan is
+    byte-identical to the pre-adversary generator's for the same seed.
     Raises [Invalid_argument] on an empty node list. *)
 
 val tree_nodes : Tpc.Types.tree -> string list
@@ -133,6 +168,68 @@ val run_case_full :
 (** {!run_case}, also exposing the quiesced world — the parallel driver
     reads its engine stats and folds its telemetry registry into a
     sweep-wide one. *)
+
+(** {2 Damage accounting (adversarial audit)} *)
+
+type accounting = {
+  a_atomicity : int;
+      (** transactions where some node's strong (non-heuristic) durable
+          outcome contradicts the decision the protocol really reached -
+          two halves of the tree durably disagreeing, or an equivocation
+          victim durably believing the flipped decision *)
+  a_heur_reported : int;
+      (** heuristic decisions that contradicted the real outcome and whose
+          damage report reached an operator console - the damaged member's
+          own (it records the mismatch the moment it detects it) or a
+          coordinator's, via acks *)
+  a_heur_silent : int;
+      (** damaged heuristic decisions no console anywhere recorded, at an
+          up member that resolved or forgot the transaction - the lost-
+          report bug class, and the one count that must stay zero even
+          under an adversary.  A damaged member still in doubt has not yet
+          learned the real outcome (counted {!a_blocked}; its report is
+          owed at resolution), and a down member reports at recovery - the
+          same excuses the benign {!audit} grants. *)
+  a_blocked : int;
+      (** txn/member pairs still in doubt at quiescence (blocked, e.g. a
+          PN member holding a forged ghost prepare) *)
+  a_rejected : int;
+      (** forged payloads refused by honest nodes' admissibility checks *)
+}
+
+val account : Tpc.Run.world -> Tpc.Mixer.txn_summary list -> accounting
+(** Classify every divergence in the quiesced world.  Ground truth per
+    transaction is the root's announced outcome when there is one, else
+    non-heuristic durable evidence, else the outcome a member resolved its
+    heuristic against (a presumed abort can leave no durable record, but
+    its damage report names it); a transaction with none of these was
+    never decided at all - a forged ghost - and a heuristic on it is not
+    yet damage, its member counting as blocked instead.  RM evidence at a
+    node that reached that state heuristically does not count as honest
+    knowledge; a TM outcome record always does (a damaged node logs the
+    outcome it was told when it learns it - under an equivocator that can
+    be a lie, in which case the member's heuristic mismatch is invisible
+    to every honest party and the divergence is classified as the
+    atomicity violation it durably is, not as heuristic damage). *)
+
+val accounting_fields : accounting -> (string * int) list
+(** Field-name/value pairs, declaration order - for JSON emission. *)
+
+val adversarial_ok : verdict -> accounting -> bool
+(** The pass criterion under an adversary: atomicity violations and
+    reported heuristic damage are the measurement, not a failure; what
+    must never happen is silent damage or a broken world (store/log
+    divergence, leaked locks, a wedged engine). *)
+
+val run_case_adversarial :
+  ?config:Tpc.Types.config ->
+  ?broken_recovery:bool ->
+  ?jitter_seed:int ->
+  Tpc.Mixer.cfg ->
+  Tpc.Types.tree ->
+  plan ->
+  Tpc.Metrics.Agg.t * verdict * accounting * Tpc.Run.world
+(** {!run_case_full} plus the damage accounting. *)
 
 (** {2 Schedule shrinking} *)
 

@@ -21,6 +21,7 @@ struct
     directed_sent : (string * string, int ref) Hashtbl.t;
     drops : (string * string, int list ref) Hashtbl.t;
     mutable jitter : (src:string -> dst:string -> float) option;
+    mutable mutator : (src:string -> dst:string -> P.t list -> P.t list) option;
     mutable total_flows : int;
   }
 
@@ -35,6 +36,7 @@ struct
       directed_sent = Hashtbl.create 16;
       drops = Hashtbl.create 4;
       jitter = None;
+      mutator = None;
       total_flows = 0;
     }
 
@@ -68,6 +70,7 @@ struct
         | None -> t.default_latency)
 
   let set_jitter t f = t.jitter <- f
+  let set_mutator t f = t.mutator <- f
 
   let partition t a b = Hashtbl.replace t.partitions (pair a b) ()
   let heal t a b = Hashtbl.remove t.partitions (pair a b)
@@ -109,6 +112,14 @@ struct
         | _ -> false
       in
       if not lost then begin
+        (* adversarial relay: a mutator may rewrite the payload bundle in
+           flight (equivocation, vote flipping).  The sender's trace already
+           recorded what it believes it sent. *)
+        let payloads =
+          match t.mutator with
+          | None -> payloads
+          | Some f -> f ~src ~dst payloads
+        in
         let l =
           latency t src dst
           +.
@@ -125,6 +136,20 @@ struct
       end;
       true
     end
+
+  (* A fabricated message: it never left [src] (no sent counter, no flow,
+     no drop bookkeeping) but arrives at [dst] claiming to be from [src]
+     after the link's base latency.  Partitions do not stop it - the
+     adversary is on the wire, not at the (possibly partitioned) source. *)
+  let inject t ~src ~dst payloads =
+    let d = node_state t dst in
+    let l = latency t src dst in
+    ignore
+      (Simkernel.Engine.schedule t.engine ~delay:l (fun () ->
+           if d.up then begin
+             d.received <- d.received + 1;
+             d.handler ~src payloads
+           end))
 
   let flows t = t.total_flows
   let sent_by t name = (node_state t name).sent

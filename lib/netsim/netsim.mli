@@ -52,6 +52,26 @@ end) : sig
       variable jitter can reorder messages on a link, so the per-pair FIFO
       guarantee no longer holds while a jitter hook is installed. *)
 
+  val set_mutator :
+    t -> (src:string -> dst:string -> P.t list -> P.t list) option -> unit
+  (** Install (or clear) a per-link message-mutation hook: the adversarial
+      counterpart of {!set_jitter} and {!drop_nth}.  When set, every bundle
+      that passes the drop check is handed to the hook before delivery is
+      scheduled, and whatever the hook returns is what arrives.  The hook
+      models a Byzantine relay (equivocating outcomes, flipped votes); the
+      sender's own statistics and trace are untouched - it believes it sent
+      the original bundle.  A pure, deterministic hook keeps runs
+      reproducible.  [None] (the default) delivers bundles verbatim. *)
+
+  val inject : t -> src:string -> dst:string -> P.t list -> unit
+  (** Fabricate a delivery: [dst] receives [payloads] after the link's base
+      latency with [src] as the claimed sender, but no real send happened -
+      the source's sent counter, the flow count and the drop/jitter
+      bookkeeping are all bypassed.  Partitions do not block it (the forger
+      sits on the wire, not at the source); a crashed destination still
+      drops it at delivery time.  This is how faultlab forges stale or
+      wrong-transaction prepare/decision retransmissions. *)
+
   val send : t -> src:string -> dst:string -> P.t list -> bool
   (** Send one message (one flow) carrying the given payload bundle.
       Returns [false] if the message was lost: source or destination crashed,

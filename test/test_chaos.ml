@@ -120,6 +120,134 @@ let test_broken_recovery_caught_and_shrunk () =
   Alcotest.(check bool) "correct recovery passes the same schedule" true
     (F.ok v)
 
+(* --- adversarial fault vocabulary -------------------------------------- *)
+
+let adversarial_gen =
+  {
+    F.default_gen with
+    F.equivocations = 2;
+    vote_flips = 2;
+    forgeries = 2;
+    forced_heuristics = 2;
+  }
+
+let test_adversarial_forms_parse () =
+  let s =
+    "equiv@10:coord:2,flip@20:sub0>coord:1,forge@30:sub1>coord:prepare,forge@40:coord>sub2:commit,forge@50:coord>sub0:abort,heur@60:sub1:commit,heur@70:sub2:abort"
+  in
+  Alcotest.(check string)
+    "every adversarial event form parses and reprints" s
+    (F.to_string (F.of_string s));
+  Alcotest.(check int) "seven events" 7 (List.length (F.of_string s));
+  Alcotest.(check bool) "recognized as adversarial" true
+    (F.is_adversarial (F.of_string s));
+  Alcotest.(check bool) "benign plans stay benign" false
+    (F.is_adversarial (F.of_string "crash@10:sub0:+25.5"))
+
+let test_adversarial_gen_round_trip () =
+  let nodes = F.tree_nodes (tree ()) in
+  for seed = 0 to 15 do
+    let plan = F.gen ~seed ~nodes adversarial_gen in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d generates adversarial events" seed)
+      true (F.is_adversarial plan);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d adversarial plan round-trips" seed)
+      (F.to_string plan)
+      (F.to_string (F.of_string (F.to_string plan)))
+  done
+
+let test_adversarial_draws_dont_disturb_benign () =
+  (* with the adversarial counts at zero the generator must reproduce the
+     pre-adversary plans byte for byte - the CI byte-identity guarantee *)
+  let nodes = F.tree_nodes (tree ()) in
+  for seed = 0 to 15 do
+    let benign = F.gen ~seed ~nodes F.default_gen in
+    let adv = F.gen ~seed ~nodes adversarial_gen in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d benign prefix identical" seed)
+      (F.to_string benign)
+      (F.to_string (List.filter (fun e -> not (F.is_adversarial_event e)) adv))
+  done
+
+let test_adversarial_replay_identical () =
+  let t = tree () in
+  let plan = F.gen ~seed:5 ~nodes:(F.tree_nodes t) adversarial_gen in
+  let run () =
+    let agg, v, acc, _w =
+      F.run_case_adversarial
+        ~config:(chaos_config Presumed_abort)
+        (mixer_cfg ()) t plan
+    in
+    (Tpc.Metrics.Agg.to_json agg, F.verdict_fields v, F.accounting_fields acc)
+  in
+  let agg1, v1, a1 = run () in
+  let agg2, v2, a2 = run () in
+  Alcotest.(check string) "bit-identical aggregate JSON" agg1 agg2;
+  Alcotest.(check (list (pair string int))) "identical verdict" v1 v2;
+  Alcotest.(check (list (pair string int))) "identical damage accounting" a1 a2
+
+let test_adversarial_sweep_classified protocol () =
+  (* every seed must classify cleanly: atomicity violations and reported
+     damage are the measurement; silent damage and broken worlds are not
+     tolerated under any protocol *)
+  let t = tree () in
+  for seed = 0 to 11 do
+    let plan = F.gen ~seed ~nodes:(F.tree_nodes t) adversarial_gen in
+    let _agg, v, acc, _w =
+      F.run_case_adversarial ~config:(chaos_config protocol) (mixer_cfg ()) t
+        plan
+    in
+    if not (F.adversarial_ok v acc) then
+      Alcotest.failf "seed %d (%s) silent damage or broken world: %s / %s" seed
+        (protocol_to_string protocol)
+        (String.concat ","
+           (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c)
+              (F.verdict_fields v)))
+        (String.concat ","
+           (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c)
+              (F.accounting_fields acc)))
+  done
+
+let test_adversarial_shrink_deterministic () =
+  (* an adversarial schedule that fails the adversarial audit (broken
+     recovery under an adversarial mix) shrinks, and the minimized plan
+     replays bit-identically - the repro-paste guarantee *)
+  let t = tree () in
+  let plan = F.gen ~seed:42 ~nodes:(F.tree_nodes t) adversarial_gen in
+  let case p =
+    let _agg, v, acc, _w =
+      F.run_case_adversarial
+        ~config:(chaos_config Presumed_abort)
+        ~broken_recovery:true (mixer_cfg ()) t p
+    in
+    (v, acc)
+  in
+  let fails p =
+    let v, acc = case p in
+    not (F.adversarial_ok v acc)
+  in
+  Alcotest.(check bool) "broken recovery fails the adversarial audit" true
+    (fails plan);
+  let small = F.shrink ~check:fails plan in
+  Alcotest.(check bool) "shrinking kept the violation" true (fails small);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk below the full plan (%d < %d)" (List.length small)
+       (List.length plan))
+    true
+    (List.length small < List.length plan);
+  (* the minimized plan round-trips through its string form and replays
+     identically, verdict and accounting both *)
+  let reparsed = F.of_string (F.to_string small) in
+  let v1, a1 = case small in
+  let v2, a2 = case reparsed in
+  Alcotest.(check (list (pair string int)))
+    "reparsed repro: identical verdict" (F.verdict_fields v1)
+    (F.verdict_fields v2);
+  Alcotest.(check (list (pair string int)))
+    "reparsed repro: identical accounting" (F.accounting_fields a1)
+    (F.accounting_fields a2)
+
 let suite =
   [
     Alcotest.test_case "plan round-trips" `Quick test_plan_round_trip;
@@ -132,4 +260,20 @@ let suite =
       (test_sweep_clean Presumed_nothing);
     Alcotest.test_case "broken recovery caught and shrunk" `Quick
       test_broken_recovery_caught_and_shrunk;
+    Alcotest.test_case "adversarial event forms parse" `Quick
+      test_adversarial_forms_parse;
+    Alcotest.test_case "adversarial plans generate and round-trip" `Quick
+      test_adversarial_gen_round_trip;
+    Alcotest.test_case "adversarial draws leave benign plans untouched" `Quick
+      test_adversarial_draws_dont_disturb_benign;
+    Alcotest.test_case "adversarial run replays bit-identically" `Quick
+      test_adversarial_replay_identical;
+    Alcotest.test_case "Basic adversarial sweep classifies cleanly" `Quick
+      (test_adversarial_sweep_classified Basic);
+    Alcotest.test_case "PA adversarial sweep classifies cleanly" `Quick
+      (test_adversarial_sweep_classified Presumed_abort);
+    Alcotest.test_case "PN adversarial sweep classifies cleanly" `Quick
+      (test_adversarial_sweep_classified Presumed_nothing);
+    Alcotest.test_case "adversarial shrink is deterministic and replayable"
+      `Quick test_adversarial_shrink_deterministic;
   ]

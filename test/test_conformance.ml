@@ -262,6 +262,109 @@ let test_custom_protocol_runs () =
   check_consistent "custom protocol consistent" w ~txn:"txn-1"
     ~outcome:Committed
 
+(* ------------------------------------------------------------------ *)
+(* Adversary hardening: forged payloads an honest node can detect from  *)
+(* topology and its own durable state are rejected, in every family     *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a commit to completion, deliver [payloads] claiming to be from
+   [src] at [dst], drive the engine again, and return how many were
+   rejected there (every test world starts at zero). *)
+let forge ~config ~src ~dst payloads =
+  let m, w = run ~config (three ()) in
+  check_outcome "baseline commit succeeds" (Some Committed) m;
+  Tpc.Net.inject w.Tpc.Run.net ~src ~dst payloads;
+  Simkernel.Engine.run w.Tpc.Run.engine;
+  (Tpc.Participant.rejected_forgeries (Tpc.Run.participant w dst), w)
+
+let test_forged_conflicting_decision_rejected () =
+  List.iter
+    (fun (impl : P.t) ->
+      let config = default_config |> with_protocol impl.P.p_id in
+      (* S durably committed txn-1; a retransmitted ABORT - even from its
+         real parent M - contradicts that and must be refused *)
+      let rejected, w =
+        forge ~config ~src:"M" ~dst:"S"
+          [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Aborted } ]
+      in
+      Alcotest.(check int)
+        (impl.P.p_flag ^ " conflicting decision rejected")
+        1 rejected;
+      check_consistent
+        (impl.P.p_flag ^ " state unchanged after forgery")
+        w ~txn:"txn-1" ~outcome:Committed)
+    (all ())
+
+let test_forged_stranger_payloads_rejected () =
+  List.iter
+    (fun (impl : P.t) ->
+      let config = default_config |> with_protocol impl.P.p_id in
+      (* in the C -> M -> S chain, S is a topology stranger to C *)
+      let yes = Vote_yes { reliable = false; leave_out_ok = false } in
+      let rejected, _w =
+        forge ~config ~src:"S" ~dst:"C"
+          [
+            Tpc.Msg.Decision_msg { txn = "ghost-1"; outcome = Committed };
+            Tpc.Msg.Vote_msg
+              {
+                txn = "ghost-2";
+                vote = yes;
+                delegation = false;
+                unsolicited = true;
+                implied_ack = false;
+              };
+            Tpc.Msg.Inquiry_reply { txn = "ghost-3"; outcome = Some Committed };
+          ]
+      in
+      Alcotest.(check int)
+        (impl.P.p_flag ^ " stranger decision/vote/reply all rejected")
+        3 rejected)
+    (all ())
+
+let test_forged_ack_and_downward_vote_rejected () =
+  List.iter
+    (fun (impl : P.t) ->
+      let config = default_config |> with_protocol impl.P.p_id in
+      (* M is S's parent: acks only travel upward, and the only legal
+         downward vote is a delegation handoff *)
+      let yes = Vote_yes { reliable = false; leave_out_ok = false } in
+      let rejected, _w =
+        forge ~config ~src:"M" ~dst:"S"
+          [
+            Tpc.Msg.Ack_msg { txn = "ghost-4"; damage = []; pending = false };
+            Tpc.Msg.Vote_msg
+              {
+                txn = "ghost-5";
+                vote = yes;
+                delegation = false;
+                unsolicited = false;
+                implied_ack = false;
+              };
+          ]
+      in
+      Alcotest.(check int)
+        (impl.P.p_flag ^ " forged ack and downward vote rejected")
+        2 rejected)
+    (all ())
+
+let test_pn_rejects_inquiries () =
+  (* PN recovery is coordinator-owned: subordinates never inquire, so an
+     Inquiry is a protocol violation under PN - and legal under PA, where
+     the same message must still be admitted *)
+  let inquiry = [ Tpc.Msg.Inquiry { txn = "txn-1" } ] in
+  let rejected_pn, _ =
+    forge
+      ~config:(default_config |> with_protocol Presumed_nothing)
+      ~src:"S" ~dst:"M" inquiry
+  in
+  Alcotest.(check int) "PN refuses a subordinate inquiry" 1 rejected_pn;
+  let rejected_pa, _ =
+    forge
+      ~config:(default_config |> with_protocol Presumed_abort)
+      ~src:"S" ~dst:"M" inquiry
+  in
+  Alcotest.(check int) "PA admits the same inquiry" 0 rejected_pa
+
 let suite =
   [
     Alcotest.test_case "flag spellings round-trip" `Quick test_roundtrip_flag;
@@ -294,4 +397,12 @@ let suite =
       test_pn_counts_match_cost_model;
     Alcotest.test_case "custom protocol plugs in end to end" `Quick
       test_custom_protocol_runs;
+    Alcotest.test_case "forged conflicting decision rejected" `Quick
+      test_forged_conflicting_decision_rejected;
+    Alcotest.test_case "stranger payloads rejected" `Quick
+      test_forged_stranger_payloads_rejected;
+    Alcotest.test_case "forged ack and downward vote rejected" `Quick
+      test_forged_ack_and_downward_vote_rejected;
+    Alcotest.test_case "PN rejects subordinate inquiries" `Quick
+      test_pn_rejects_inquiries;
   ]

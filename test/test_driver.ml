@@ -46,6 +46,7 @@ let chaos_params ?(broken = false) ?plan ~seeds () =
     ch_shrink = true;
     ch_protocol_flag = "pa";
     ch_n = 4;
+    ch_adversary = false;
   }
 
 (* a mid-workload crash+restart that the amnesiac restart turns into a
