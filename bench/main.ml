@@ -518,6 +518,7 @@ let sweep_scenario () =
       sw_n = 4;
       sw_mixer = { Tpc.Mixer.default_cfg with Tpc.Mixer.txns = 300 };
       sw_events = false;
+      sw_blocking = false;
     }
   in
   fun ~jobs ->
@@ -557,6 +558,7 @@ let chaos_scenario () =
       ch_protocol_flag = "pa";
       ch_n = n;
       ch_adversary = false;
+      ch_blocking = false;
     }
   in
   fun ~jobs ->
@@ -643,6 +645,17 @@ let parallel_bench ~jobs ~json_out () =
             ( "recommended_jobs",
               Tpc.Json.Int (Parallel.recommended_jobs ()) );
             ("cores", Tpc.Json.Int (Domain.recommended_domain_count ()));
+            (* A single-core host can only time the domain-pool overhead,
+               never a real speedup — mark such reports so nobody quotes
+               their numbers as multicore scaling results. *)
+            ( "provisional",
+              Tpc.Json.Bool (Domain.recommended_domain_count () < 2) );
+            ( "provisional_reason",
+              Tpc.Json.String
+                (if Domain.recommended_domain_count () < 2 then
+                   "measured on a 1-core host: speedup_vs_jobs1 reflects \
+                    pool overhead only; regenerate on a multicore machine"
+                 else "") );
             ( "scenarios",
               Tpc.Json.List (List.map (parallel_result_json ~jobs) results) );
           ]

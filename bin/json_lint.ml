@@ -13,7 +13,11 @@
    must be present as a non-negative integer, and the adversarial
    damage-classification fields — emitted only under `--adversary` — must
    appear as a complete non-negative block whenever any one of them
-   appears.  Exits 1 on the first malformed input. *)
+   appears.  Any line carrying a "blocking" block (emitted under
+   `--blocking` by sweep and chaos) must have all three windows
+   (in_doubt, blocked_lock, heur_exposure), each with a non-negative
+   integer count and non-negative p50/p99.  Exits 1 on the first
+   malformed input. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -41,6 +45,46 @@ let accounting_fields =
     "rejected_forgeries";
   ]
 
+(* the per-window summaries inside a "blocking" block (--blocking) *)
+let blocking_windows = [ "in_doubt"; "blocked_lock"; "heur_exposure" ]
+
+let check_blocking path lineno json =
+  match Tpc.Json.member "blocking" json with
+  | None -> ()
+  | Some block ->
+      List.iter
+        (fun w ->
+          match Tpc.Json.member w block with
+          | None ->
+              fail "%s:%d: blocking block missing window %S" path lineno w
+          | Some win ->
+              (match Tpc.Json.member "count" win with
+              | Some v
+                when (match Tpc.Json.to_int_opt v with
+                     | Some n -> n >= 0
+                     | None -> false) ->
+                  ()
+              | _ ->
+                  fail
+                    "%s:%d: blocking window %S needs a non-negative integer \
+                     \"count\""
+                    path lineno w);
+              List.iter
+                (fun q ->
+                  match Tpc.Json.member q win with
+                  | Some v
+                    when (match Tpc.Json.to_float_opt v with
+                         | Some x -> x >= 0.0
+                         | None -> false) ->
+                      ()
+                  | _ ->
+                      fail
+                        "%s:%d: blocking window %S needs a non-negative \
+                         number %S"
+                        path lineno w q)
+                [ "p50"; "p99" ])
+        blocking_windows
+
 let nonneg_int where path lineno json field =
   match Tpc.Json.member field json with
   | None -> fail "%s:%d: chaos verdict missing %s field %S" path lineno where field
@@ -60,6 +104,11 @@ let check_chaos_line path lineno json =
         List.iter (nonneg_int "adversarial" path lineno json) accounting_fields
   | _ -> ()
 
+let check_line path lineno json =
+  check_chaos_line path lineno json;
+  (* any line may carry a blocking block (sweep cells and chaos verdicts) *)
+  check_blocking path lineno json
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -75,7 +124,7 @@ let check_jsonl path =
       if String.trim line <> "" then begin
         (try
            let json = Tpc.Json.parse line in
-           check_chaos_line path (i + 1) json
+           check_line path (i + 1) json
          with Tpc.Json.Parse_error msg ->
            fail "%s:%d: JSON parse error: %s" path (i + 1) msg);
         incr checked

@@ -8,6 +8,8 @@
      group     - group-commit sweep
      crash     - a commit with an injected crash, showing recovery
      sweep     - concurrent throughput sweep (one JSON line per cell)
+     explain   - causal narrative + critical-path latency attribution for
+                 one transaction of a deterministic mixer run
      chaos     - seeded fault-schedule sweep with fault-aware audit and
                  schedule shrinking (one JSONL verdict per seed) *)
 
@@ -121,6 +123,14 @@ let jobs_arg =
     value
     & opt int (Parallel.recommended_jobs ())
     & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+let blocking_arg =
+  let doc =
+    "Append a \"blocking\" block to every JSON line: count/p50/p99 of the \
+     in-doubt residence, blocked-lock hold and heuristic-exposure windows \
+     observed in that cell (deterministic, byte-identical across --jobs)."
+  in
+  Arg.(value & flag & info [ "blocking" ] ~doc)
 
 (* --- run -------------------------------------------------------------- *)
 
@@ -300,7 +310,8 @@ let group_term =
    file are byte-identical whatever the job count; the wall-clock engine
    profile (nondeterministic by nature) only ever goes to stderr. *)
 let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
-    read_prob interarrival lock_timeout seed group events_out progress jobs =
+    read_prob interarrival lock_timeout seed group events_out blocking progress
+    jobs =
   if n < 2 then (
     Printf.eprintf "tpc_sim sweep: -n must be at least 2\n";
     exit 2);
@@ -351,6 +362,7 @@ let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
           seed;
         };
       sw_events = events_out <> None;
+      sw_blocking = blocking;
     }
   in
   let progress_fn =
@@ -429,7 +441,105 @@ let sweep_term =
   Term.(
     const sweep_cmd $ protocol_arg $ opts_arg $ concurrencies $ n_arg $ txns
     $ keyspace $ update_prob $ read_prob $ interarrival $ lock_timeout
-    $ seed_arg $ group $ events_arg $ progress $ jobs_arg)
+    $ seed_arg $ group $ events_arg $ blocking_arg $ progress $ jobs_arg)
+
+(* --- explain ---------------------------------------------------------------- *)
+
+(* Re-run one deterministic mixer workload with the causal recorder on and
+   walk one transaction's event graph: the full narrative, the critical
+   path (every hop annotated with the wait class of the interval it ends),
+   and the per-class attribution whose buckets sum - exactly - to the
+   transaction's end-to-end latency. *)
+let explain_cmd protocol opt_names n txns concurrency seed txn_id =
+  if n < 2 then (
+    Printf.eprintf "tpc_sim explain: -n must be at least 2\n";
+    exit 2);
+  let opts = build_opts opt_names in
+  let config =
+    default_config |> with_protocol protocol |> with_opts opts
+    |> with_trace_events false
+  in
+  let cfg = { Tpc.Mixer.default_cfg with txns; concurrency; seed } in
+  let tree = Workload.mixer_tree ~n ~opts () in
+  let _agg, w, summaries =
+    Tpc.Mixer.run_full ~config ~causal:Obs.Causal.Graph cfg tree
+  in
+  let causal = w.Tpc.Run.causal in
+  match List.find_opt (fun s -> s.Tpc.Mixer.ts_txn = txn_id) summaries with
+  | None ->
+      Printf.eprintf
+        "tpc_sim explain: no transaction %S in this run (transactions are \
+         mx-1 .. mx-%d)\n"
+        txn_id txns;
+      exit 1
+  | Some s ->
+      let outcome =
+        match s.Tpc.Mixer.ts_outcome with
+        | Some o -> outcome_to_string o
+        | None -> "unresolved"
+      in
+      Printf.printf "transaction %s: %s%s\n" txn_id outcome
+        (if s.Tpc.Mixer.ts_timed_out then " (lock-wait timeout)" else "");
+      let e2e =
+        Option.map
+          (fun c -> c -. s.Tpc.Mixer.ts_arrival)
+          s.Tpc.Mixer.ts_completed
+      in
+      (match e2e with
+      | Some d ->
+          Printf.printf
+            "  arrival %.2f   completion %.2f   end-to-end latency %.2f\n"
+            s.Tpc.Mixer.ts_arrival
+            (Option.get s.Tpc.Mixer.ts_completed)
+            d
+      | None -> Printf.printf "  arrival %.2f   never completed\n" s.Tpc.Mixer.ts_arrival);
+      let nodes = Obs.Causal.txn_nodes causal ~txn:txn_id in
+      Printf.printf "\ncausal narrative (%d events):\n" (List.length nodes);
+      List.iter
+        (fun (cn : Obs.Causal.node) ->
+          Printf.printf "  %8.2f  %-10s %s\n" cn.Obs.Causal.cn_time
+            cn.Obs.Causal.cn_who cn.Obs.Causal.cn_label)
+        nodes;
+      (match Obs.Causal.critical_path causal ~txn:txn_id with
+      | None -> Printf.printf "\nno causal events recorded for %s\n" txn_id
+      | Some hops ->
+          Printf.printf "\ncritical path (%d hops, binding cause at each step):\n"
+            (List.length hops);
+          List.iter
+            (fun { Obs.Causal.h_node = cn; h_dt } ->
+              Printf.printf "  +%8.2f  [%-9s] %-10s %s\n" h_dt
+                (Obs.Causal.seg_name cn.Obs.Causal.cn_seg)
+                cn.Obs.Causal.cn_who cn.Obs.Causal.cn_label)
+            hops;
+          let segs = Obs.Causal.path_segments hops in
+          let total = Obs.Causal.segments_total segs in
+          Printf.printf "\ncritical-path attribution:\n";
+          List.iter
+            (fun (name, v) ->
+              Printf.printf "  %-10s %10.2f  %5.1f%%\n" name v
+                (if total > 0.0 then 100.0 *. v /. total else 0.0))
+            (Obs.Causal.segments_list segs);
+          Printf.printf "  %-10s %10.2f" "total" total;
+          (match e2e with
+          | Some d -> Printf.printf "  (end-to-end %.2f)\n" d
+          | None -> Printf.printf "\n"))
+
+let explain_term =
+  let txns =
+    Arg.(value & opt int 100 & info [ "txns" ] ~doc:"Transactions to run.")
+  in
+  let concurrency =
+    Arg.(value & opt int 8 & info [ "c"; "concurrency" ] ~doc:"Concurrency level.")
+  in
+  let txn_id =
+    Arg.(
+      value & opt string "mx-1"
+      & info [ "txn" ] ~docv:"ID"
+          ~doc:"Transaction to explain (mx-1 .. mx-TXNS).")
+  in
+  Term.(
+    const explain_cmd $ protocol_arg $ opts_arg $ n_arg $ txns $ concurrency
+    $ seed_arg $ txn_id)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -592,7 +702,7 @@ let crash_term =
 
 let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
     partitions drops jitters horizon adversary equivocations vote_flips
-    forgeries forced_heuristics plan_str broken no_shrink out jobs =
+    forgeries forced_heuristics plan_str broken no_shrink out blocking jobs =
   if n < 2 then (
     Printf.eprintf "tpc_sim chaos: -n must be at least 2\n";
     exit 2);
@@ -665,6 +775,7 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
       ch_protocol_flag = Tpc.Protocol.flag protocol;
       ch_n = n;
       ch_adversary = adversary;
+      ch_blocking = blocking;
     }
   in
   let cells, _registry = Driver.chaos_cells ~jobs params in
@@ -815,7 +926,7 @@ let chaos_term =
     const chaos_cmd $ protocol_arg $ opts_arg $ n_arg $ seeds $ seed_arg $ txns
     $ concurrency $ crashes $ partitions $ drops $ jitters $ horizon
     $ adversary $ equivocations $ vote_flips $ forgeries $ forced_heuristics
-    $ plan $ broken $ no_shrink $ out $ jobs_arg)
+    $ plan $ broken $ no_shrink $ out $ blocking_arg $ jobs_arg)
 
 (* --- command tree ------------------------------------------------------------- *)
 
@@ -842,6 +953,11 @@ let () =
             cmd "sweep" sweep_term
               "Concurrent throughput sweep: concurrency x optimization sets, \
                one JSON line per cell.";
+            cmd "explain" explain_term
+              "Causal explanation of one transaction: event narrative, \
+               critical path, and latency attribution (log-wait, msg-wait, \
+               lock-wait, in-doubt, compute) summing to its end-to-end \
+               latency.";
             cmd "stats" stats_term
               "Sim-kernel profiling: run one mixer cell and report engine \
                statistics.";

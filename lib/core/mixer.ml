@@ -65,6 +65,9 @@ type txn_summary = {
           (possible when faults killed the coordinator) *)
   ts_commit_started : bool;
   ts_timed_out : bool;
+  ts_arrival : float;
+  ts_completed : float option;
+      (** when the driver learned the outcome; [None] = never resolved *)
 }
 
 let txn_value txn = "v:" ^ txn
@@ -216,11 +219,23 @@ end
 (* The engine                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_full ?(config = default_config) ?inject cfg tree =
+let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off) cfg
+    tree =
   if cfg.txns <= 0 then invalid_arg "Mixer.run: txns must be positive";
   let w = Run.setup ~config tree in
   let engine = w.Run.engine in
   let reg = w.Run.registry in
+  Obs.Causal.set_mode w.Run.causal causal;
+  (* Driver-side causal events live on the root's process chain: the
+     arrival, every lock grant and the commit trigger precede the root
+     participant's own first event there, so each transaction's graph is
+     connected from arrival to terminal. *)
+  let crecord ?terminal ?link_from ?(who = w.Run.root) x seg label =
+    let c = w.Run.causal in
+    if Obs.Causal.enabled c then
+      Obs.Causal.record ?terminal ?link_from c ~txn:x.x_txn ~who
+        ~time:(E.now engine) ~seg (label ())
+  in
   (* Latency distributions stream into bounded log-bucketed histograms as
      transactions finish: memory stays proportional to the dynamic range of
      the data, not to [cfg.txns], so multi-million-transaction sweeps are
@@ -259,6 +274,12 @@ let run_full ?(config = default_config) ?inject cfg tree =
     if x.x_completed = None then begin
       x.x_completed <- Some (E.now engine);
       x.x_outcome <- Some outcome;
+      crecord ~terminal:true x
+        (if x.x_timed_out then Obs.Causal.Lock_wait else Obs.Causal.Compute)
+        (fun () ->
+          Printf.sprintf "application notified: %s%s"
+            (outcome_to_string outcome)
+            (if x.x_timed_out then " (lock-wait timeout)" else ""));
       (match (outcome, x.x_commit_started) with
       | Committed, Some s -> Obs.Histogram.record h_commit (E.now engine -. s)
       | _ -> ());
@@ -333,6 +354,8 @@ let run_full ?(config = default_config) ?inject cfg tree =
           if n.Run.profile.p_unsolicited && not (left_out x name) then
             ignore
               (E.schedule engine ~delay:0.0 (fun () ->
+                   crecord ~link_from:w.Run.root ~who:name x Obs.Causal.Compute
+                     (fun () -> "unsolicited vote trigger");
                    Participant.begin_unsolicited n.Run.participant ~txn:x.x_txn)))
         w.Run.nodes
   in
@@ -415,6 +438,7 @@ let run_full ?(config = default_config) ?inject cfg tree =
         fail_txn x
       else begin
         x.x_commit_started <- Some (E.now engine);
+        crecord x Obs.Causal.Compute (fun () -> "commit requested");
         mark_idle x;
         trigger_unsolicited x;
         Participant.begin_commit (Run.participant w w.Run.root) ~txn:x.x_txn;
@@ -442,6 +466,15 @@ let run_full ?(config = default_config) ?inject cfg tree =
               x.x_wait_time <- x.x_wait_time +. waited;
               Obs.Histogram.record h_wait waited
             end;
+            crecord x
+              (if waited > 1e-9 then Obs.Causal.Lock_wait
+               else Obs.Causal.Compute)
+              (fun () ->
+                let key =
+                  match it_op with
+                  | Op_update { key } | Op_read { key } -> key
+                in
+                Printf.sprintf "lock granted: %s@%s" key it_node);
             if x.x_timed_out then
               (* granted after we gave up: let it go again *)
               Kvstore.abort kv ~txn:x.x_txn (fun () -> ())
@@ -480,6 +513,7 @@ let run_full ?(config = default_config) ?inject cfg tree =
     order := txn :: !order;
     incr arrived;
     incr outstanding;
+    crecord x Obs.Causal.Compute (fun () -> "arrival");
     x.x_timer <- Some (E.schedule engine ~delay:cfg.lock_timeout (lock_timeout x));
     acquire x x.x_items
   in
@@ -506,6 +540,8 @@ let run_full ?(config = default_config) ?inject cfg tree =
           ts_outcome = x.x_outcome;
           ts_commit_started = x.x_commit_started <> None;
           ts_timed_out = x.x_timed_out;
+          ts_arrival = x.x_arrival;
+          ts_completed = x.x_completed;
         })
       all
   in

@@ -43,6 +43,9 @@ type txn_summary = {
       (** what the root reported; [None] when faults silenced it *)
   ts_commit_started : bool;
   ts_timed_out : bool;
+  ts_arrival : float;
+  ts_completed : float option;
+      (** when the driver learned the outcome; [None] = never resolved *)
 }
 
 val txn_value : string -> string
@@ -73,6 +76,7 @@ end
 val run_full :
   ?config:Types.config ->
   ?inject:(Run.world -> unit) ->
+  ?causal:Obs.Causal.mode ->
   cfg ->
   Types.tree ->
   Metrics.Agg.t * Run.world * txn_summary list
@@ -80,7 +84,12 @@ val run_full :
     external audits.  [inject] runs after the world is built and every
     arrival is scheduled, but before the engine starts: a fault plan uses
     it to schedule crashes, partitions, message drops and jitter onto the
-    same virtual clock. *)
+    same virtual clock.  [causal] (default [Off]) sets the mode of the
+    world's {!Obs.Causal} recorder: with [Graph], every transaction's
+    commit becomes a causal event graph reachable from
+    [world.Run.causal] — arrivals, lock grants and the commit trigger are
+    recorded on the root's chain so each graph is connected from arrival
+    to the application-notified terminal. *)
 
 val run :
   ?config:Types.config -> cfg -> Types.tree -> Metrics.Agg.t * Run.world

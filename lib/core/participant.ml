@@ -65,6 +65,12 @@ type txn_state = {
   mutable logged_tm : bool;
       (* this node wrote a TM record for the txn: answers "does END have
          anything to mark" without rescanning the whole log *)
+  mutable indoubt_entered : float option;
+      (* when this node last entered Ph_in_doubt and has not yet released
+         its locks: feeds the "blocking/blocked_lock" window histogram *)
+  mutable heuristic_at : float option;
+      (* when a heuristic decision was taken here, until the real outcome
+         arrives: feeds the "blocking/heur_exposure" window histogram *)
 }
 
 (* An acknowledgment (or last-agent implied ack) waiting to piggyback on the
@@ -104,6 +110,9 @@ type t = {
       (* workload-driver hook fired after volatile state is wiped *)
   mutable registry : Obs.Registry.t option;
       (* telemetry sink for per-phase residence times; [None] = no recording *)
+  mutable causal : Obs.Causal.t option;
+      (* per-transaction causal event graph; recording is gated by the
+         recorder's own mode, so a shared [Off] recorder costs nothing *)
   suspended_children : (string, unit) Hashtbl.t;
       (* children whose last committed YES carried OK-TO-LEAVE-OUT: they are
          suspended awaiting data and may be left out of the next transaction *)
@@ -149,6 +158,7 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     on_root_complete = None;
     on_crash = None;
     registry = None;
+    causal = None;
     suspended_children = Hashtbl.create 4;
     idle_children = Hashtbl.create 4;
     deferred = [];
@@ -163,6 +173,7 @@ let is_crashed t = t.crashed
 let set_on_root_complete t f = t.on_root_complete <- Some f
 let set_on_crash t f = t.on_crash <- Some f
 let set_registry t reg = t.registry <- Some reg
+let set_causal t c = t.causal <- Some c
 
 (* The workload driver declares, per transaction, which immediate children
    exchanged no data with this member; a child that is both idle and
@@ -203,6 +214,30 @@ let retry_delay (t : t) attempt =
 let trace t ev = Trace.record t.trace ev
 
 (* ------------------------------------------------------------------ *)
+(* Causal recording                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The graph recorder, when one is attached and actually recording.
+   Every hook below goes through this, so counter-only harnesses pay a
+   single pointer test per potential event. *)
+let causal_sink t =
+  match t.causal with
+  | Some c when Obs.Causal.enabled c -> Some c
+  | _ -> None
+
+let causal_record ?(seg = Obs.Causal.Compute) t ~txn label =
+  match causal_sink t with
+  | Some c ->
+      Obs.Causal.record c ~txn ~who:t.name ~time:(Simkernel.Engine.now t.engine)
+        ~seg (label ())
+  | None -> ()
+
+let observe t name v =
+  match t.registry with
+  | Some reg -> Obs.Registry.observe reg name v
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Phase telemetry                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -225,6 +260,16 @@ let set_phase t st ph =
         ("phase/" ^ phase_name st.phase)
         (now t -. st.phase_since)
   | _ -> ());
+  if ph <> st.phase then begin
+    (* Blocking-window accounting: the in-doubt residence is the window
+       during which this member can neither commit nor abort (Gray &
+       Lamport's blocking window); the lock-hostage window it opens closes
+       later, when [apply_local] actually releases the locks. *)
+    if st.phase = Ph_in_doubt then
+      observe t "blocking/in_doubt" (now t -. st.phase_since);
+    if ph = Ph_in_doubt && st.indoubt_entered = None then
+      st.indoubt_entered <- Some (now t)
+  end;
   st.phase_since <- now t;
   st.phase <- ph
 
@@ -247,6 +292,11 @@ let send t ~dst payloads =
          label = Msg.bundle_label payloads;
          protocol = bundle_is_protocol payloads;
        });
+  (match (causal_sink t, payloads) with
+  | Some c, p :: _ ->
+      Obs.Causal.send c ~txn:(Msg.payload_txn p) ~src:t.name ~dst ~time:(now t)
+        ~label:(Msg.bundle_label payloads)
+  | _ -> ());
   ignore (Net.send t.net ~src:t.name ~dst payloads)
 
 (* ------------------------------------------------------------------ *)
@@ -266,21 +316,31 @@ let tm_force t ~txn kind k =
   if t.cfg.opts.shared_log && t.profile.p_shares_parent_log then begin
     trace t
       (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
+    causal_record t ~txn (fun () ->
+        "log append " ^ Wal.Log_record.kind_to_string kind ^ " (shared log)");
     Wal.Log.append t.log record;
     k ()
   end
   else begin
     trace t
       (Trace.Log_write { time = now t; node = t.name; kind; forced = true; rm = false });
+    causal_record t ~txn (fun () ->
+        "force " ^ Wal.Log_record.kind_to_string kind);
     let ep = t.epoch in
     Wal.Log.force t.log record (fun () ->
-        if (not t.crashed) && t.epoch = ep then k ())
+        if (not t.crashed) && t.epoch = ep then begin
+          causal_record t ~txn ~seg:Obs.Causal.Log_wait (fun () ->
+              Wal.Log_record.kind_to_string kind ^ " durable");
+          k ()
+        end)
   end
 
 let tm_append t ~txn kind =
   mark_logged t ~txn;
   trace t
     (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
+  causal_record t ~txn (fun () ->
+      "log append " ^ Wal.Log_record.kind_to_string kind);
   Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.name kind)
 
 (* Force a protocol-prescribed record sequence in order, then continue:
@@ -377,6 +437,8 @@ and new_txn_state t txn =
       delegation_timer = None;
       awaiting_implied_ack = false;
       logged_tm = false;
+      indoubt_entered = None;
+      heuristic_at = None;
     }
   in
   Hashtbl.replace t.txns txn st;
@@ -487,6 +549,8 @@ and start_vote_timer ?(attempt = 0) t st =
                       node = t.name;
                       text = "vote timeout: re-sending Prepare to silent members";
                     });
+               causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+                   "vote timeout: retransmitting Prepare");
                List.iter
                  (fun ch ->
                    if
@@ -518,6 +582,8 @@ and start_vote_timer ?(attempt = 0) t st =
                       node = t.name;
                       text = "vote timeout: presuming NO from silent members";
                     });
+               causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+                   "vote timeout: presuming NO from silent members");
                List.iter
                  (fun ch ->
                    if ch.ch_vote = None && not ch.ch_last_agent then begin
@@ -666,6 +732,8 @@ and start_delegation_timer ?(attempt = 0) t st send_delegation =
                       node = t.name;
                       text = "delegation unanswered: re-sending to last agent";
                     });
+               causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+                   "delegation unanswered: retransmitting");
                send_delegation ();
                start_delegation_timer ~attempt:(attempt + 1) t st
                  send_delegation
@@ -808,6 +876,8 @@ and decide t st outcome =
   set_phase t st Ph_deciding;
   st.outcome <- Some outcome;
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
+  causal_record t ~txn:st.txn (fun () ->
+      "decides " ^ outcome_to_string outcome);
   if maybe_crash t Cp_before_decision_log then ()
   else
     match t.proto.p_decision_log outcome with
@@ -839,15 +909,21 @@ and after_decision_durable t st =
       maybe_finished t st)
 
 and apply_local t st outcome k =
+  let released () =
+    trace t (Trace.Locks_released { time = now t; node = t.name });
+    causal_record t ~txn:st.txn (fun () -> "releases locks");
+    (* the lock-hostage window a blocked member held its data for: from
+       entering in-doubt to the locks actually coming off *)
+    (match st.indoubt_entered with
+    | Some t0 ->
+        observe t "blocking/blocked_lock" (now t -. t0);
+        st.indoubt_entered <- None
+    | None -> ());
+    k ()
+  in
   match outcome with
-  | Committed ->
-      Kvstore.commit t.kv ~txn:st.txn ~force:false (fun () ->
-          trace t (Trace.Locks_released { time = now t; node = t.name });
-          k ())
-  | Aborted ->
-      Kvstore.abort t.kv ~txn:st.txn (fun () ->
-          trace t (Trace.Locks_released { time = now t; node = t.name });
-          k ())
+  | Committed -> Kvstore.commit t.kv ~txn:st.txn ~force:false released
+  | Aborted -> Kvstore.abort t.kv ~txn:st.txn released
 
 and decision_recipients st =
   (* Commits flow to YES voters only: read-only voters left phase two, a
@@ -935,6 +1011,8 @@ and retry_child t st ch =
       maybe_finished t st
     end;
     if ch.ch_retries <= t.cfg.max_retries then begin
+      causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+          "ack overdue: retransmitting decision to " ^ ch.ch_profile.p_name);
       send t ~dst:ch.ch_profile.p_name
         [ Msg.Decision_msg { txn = st.txn; outcome = Option.get st.outcome } ];
       start_ack_retry t st ch
@@ -1077,6 +1155,8 @@ and defer_ack_long_locks t st =
 and root_complete t st outcome =
   trace t
     (Trace.Complete { time = now t; node = t.name; outcome; pending = st.pending });
+  causal_record t ~txn:st.txn (fun () ->
+      "completes: " ^ outcome_to_string outcome);
   List.iter
     (fun (d : Msg.damage_report) ->
       t.damage_seen <- (st.txn, d) :: t.damage_seen;
@@ -1146,7 +1226,10 @@ and arm_heuristic t st delay action =
       (sched t ~delay (fun () ->
            if st.phase = Ph_in_doubt && st.heuristic_action = None then begin
              st.heuristic_action <- Some action;
+             st.heuristic_at <- Some (now t);
              trace t (Trace.Heuristic { time = now t; node = t.name; action });
+             causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+                 "HEURISTIC " ^ outcome_to_string action);
              let kind =
                match action with
                | Committed -> Wal.Log_record.Heuristic_commit
@@ -1197,6 +1280,8 @@ and start_indoubt_timer ?(attempt = 0) t st =
                | None -> false
              in
              if st.phase = Ph_in_doubt && still_current then begin
+               causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+                   "in doubt: recovery tick");
                t.proto.p_indoubt_tick (ops_of t) ~txn:st.txn ~targets;
                start_indoubt_timer ~attempt:(attempt + 1) t st
              end))
@@ -1411,6 +1496,11 @@ and subordinate_apply t st outcome =
       maybe_finished t st)
 
 and resolve_heuristic t st ~action ~outcome =
+  (match st.heuristic_at with
+  | Some t0 ->
+      observe t "blocking/heur_exposure" (now t -. t0);
+      st.heuristic_at <- None
+  | None -> ());
   if action <> outcome then begin
     let report =
       { Msg.d_node = t.name; d_action = action; d_outcome = outcome }
@@ -1442,6 +1532,8 @@ and delegator_decision t st outcome =
   st.delegation_timer <- None;
   st.outcome <- Some outcome;
   trace t (Trace.Decide { time = now t; node = t.name; outcome });
+  causal_record t ~txn:st.txn (fun () ->
+      "adopts delegated outcome " ^ outcome_to_string outcome);
   set_phase t st Ph_deciding;
   match t.proto.p_decision_log outcome with
   | Protocol_intf.Log_force kind ->
@@ -1638,6 +1730,11 @@ and handler t ~src payloads =
            dst = t.name;
            label = Msg.bundle_label payloads;
          });
+    (match (causal_sink t, payloads) with
+    | Some c, p :: _ ->
+        Obs.Causal.deliver c ~txn:(Msg.payload_txn p) ~src ~dst:t.name
+          ~time:(now t) ~label:(Msg.bundle_label payloads)
+    | _ -> ());
     List.iter
       (fun payload ->
         match admissible t ~src payload with
@@ -1862,7 +1959,10 @@ let force_heuristic t ~txn action =
     match get_txn t txn with
     | Some st when st.phase = Ph_in_doubt && st.heuristic_action = None ->
         st.heuristic_action <- Some action;
+        st.heuristic_at <- Some (now t);
         trace t (Trace.Heuristic { time = now t; node = t.name; action });
+        causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
+            "HEURISTIC " ^ outcome_to_string action ^ " (injected)");
         let kind =
           match action with
           | Committed -> Wal.Log_record.Heuristic_commit

@@ -52,8 +52,17 @@ val set_registry : t -> Obs.Registry.t -> unit
 (** Attach a telemetry registry: every protocol phase transition then
     streams the residence time of the phase being left into the
     registry's ["phase/<name>"] histogram (names: [voting], [in-doubt],
-    [delegated], [decision], [phase-two], [ended]).  Without a registry
-    the participant records nothing. *)
+    [delegated], [decision], [phase-two], [ended]), and the blocking
+    windows into ["blocking/in_doubt"], ["blocking/blocked_lock"] and
+    ["blocking/heur_exposure"].  Without a registry the participant
+    records nothing. *)
+
+val set_causal : t -> Obs.Causal.t -> unit
+(** Attach a causal recorder: protocol steps (log appends and forces,
+    message sends and deliveries, decisions, retransmissions, heuristic
+    overrides, lock releases) are then recorded as per-transaction causal
+    events whenever the recorder's mode is not [Off].  With the recorder
+    absent or [Off] every hook is an O(1) no-op. *)
 
 val begin_commit : t -> txn:string -> unit
 (** Initiate commit processing for [txn] with this participant as the

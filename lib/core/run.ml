@@ -16,6 +16,7 @@ type world = {
   net : Net.t;
   trace : Trace.t;
   registry : Obs.Registry.t;  (** telemetry: per-phase latency histograms *)
+  causal : Obs.Causal.t;  (** causal event graph; mode [Off] unless enabled *)
   cfg : config;
   tree : tree;
   nodes : (string * node) list;  (** tree order, root first *)
@@ -43,6 +44,7 @@ let setup ?(config = default_config) tree =
   let net = Net.create engine ~default_latency:config.latency () in
   let trace = Trace.create ~keep_events:config.trace_events () in
   let registry = Obs.Registry.create () in
+  let causal = Obs.Causal.create () in
   let wal_config =
     { Wal.Log.io_latency = config.io_latency; group = config.group_commit }
   in
@@ -60,6 +62,7 @@ let setup ?(config = default_config) tree =
     in
     Participant.attach participant;
     Participant.set_registry participant registry;
+    Participant.set_causal participant causal;
     ((p.p_name, { participant; wal; kv; profile = p }) :: [])
     @ List.concat_map (build (Some p.p_name) (Some wal)) children
   in
@@ -71,6 +74,7 @@ let setup ?(config = default_config) tree =
       net;
       trace;
       registry;
+      causal;
       cfg = config;
       tree;
       nodes;

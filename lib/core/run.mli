@@ -17,7 +17,12 @@ type world = {
   trace : Trace.t;
   registry : Obs.Registry.t;
       (** telemetry registry shared by every member: per-phase residence
-          histograms ("phase/voting", ...) plus whatever the driver adds *)
+          histograms ("phase/voting", ...), blocking-window histograms
+          ("blocking/..."), plus whatever the driver adds *)
+  causal : Obs.Causal.t;
+      (** causal event recorder shared by every member; created with mode
+          [Off] — flip it with {!Obs.Causal.set_mode} before committing to
+          collect the per-transaction event graph *)
   cfg : Types.config;
   tree : Types.tree;
   nodes : (string * node) list;  (** tree order, root first *)

@@ -270,9 +270,33 @@ let chrome_trace ?(time_scale = default_time_scale) trace ~tree =
         | _ -> None)
       (Trace.events trace)
   in
+  (* Message propagation as Perfetto flow arrows: an "s" event on the
+     sender's track paired with a binding-point "f" on the receiver's,
+     sharing the flow id trace.ml assigned when it matched the send to
+     its delivery. *)
+  let flow_events =
+    List.concat_map
+      (fun (id, src, dst, label, sent, delivered) ->
+        let common ph tid time =
+          [
+            ("name", Json.String label);
+            ("cat", Json.String "msg");
+            ("ph", Json.String ph);
+            ("id", Json.Int id);
+            ("ts", Json.Float (time *. time_scale));
+            ("pid", Json.Int 0);
+            ("tid", Json.Int tid);
+          ]
+        in
+        [
+          Json.Obj (common "s" (tid_of src) sent);
+          Json.Obj (common "f" (tid_of dst) delivered @ [ ("bp", Json.String "e") ]);
+        ])
+      (Trace.matched_flows trace)
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (meta @ span_events @ instants));
+      ("traceEvents", Json.List (meta @ span_events @ instants @ flow_events));
       ("displayTimeUnit", Json.String "ms");
     ]
 

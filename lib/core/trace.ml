@@ -147,6 +147,38 @@ let damage_reports t =
       | _ -> None)
     (events t)
 
+(* Pair each delivery with the oldest unmatched send of the same
+   (src, dst, label) channel — FIFO, which is exactly the simulated
+   network's per-link delivery order.  Sends that were dropped (or still
+   in flight at quiescence) simply never pair.  The result feeds Perfetto
+   flow arrows, so each pair carries a stable id. *)
+let matched_flows t =
+  let pending : (string * string * string, (int * float) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let next = ref 0 in
+  let pairs =
+    List.filter_map
+      (function
+        | Send { time; src; dst; label; _ } ->
+            let key = (src, dst, label) in
+            let id = !next in
+            incr next;
+            let q = Option.value ~default:[] (Hashtbl.find_opt pending key) in
+            Hashtbl.replace pending key (q @ [ (id, time) ]);
+            None
+        | Deliver { time; src; dst; label } -> (
+            let key = (src, dst, label) in
+            match Hashtbl.find_opt pending key with
+            | Some ((id, sent) :: rest) ->
+                Hashtbl.replace pending key rest;
+                Some (id, src, dst, label, sent, time)
+            | _ -> None)
+        | _ -> None)
+      (events t)
+  in
+  pairs
+
 let completion_time t node =
   List.find_map
     (function

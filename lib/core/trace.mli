@@ -92,6 +92,14 @@ val heuristic_count : t -> int
 val damage_reports : t -> (string * string) list
 (** [(damaged node, reported to)] pairs, oldest first. *)
 
+val matched_flows : t -> (int * string * string * string * float * float) list
+(** Send/deliver pairs [(id, src, dst, label, sent, delivered)], oldest
+    send first.  Each delivery is matched FIFO to the oldest unmatched
+    send of its [(src, dst, label)] channel — the simulated network's
+    per-link order — so dropped or still-in-flight sends never pair.
+    Ids are deterministic (assigned in send order); they become Perfetto
+    flow ids. *)
+
 val completion_time : t -> string -> float option
 val locks_released_time : t -> string -> float option
 

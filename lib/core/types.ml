@@ -253,7 +253,6 @@ let opts_to_list o = List.filter (opt_enabled o) all_opts
 
 let with_protocol protocol cfg = { cfg with protocol }
 let with_opts l cfg = { cfg with opts = opts_of_list l }
-let with_opts_record opts cfg = { cfg with opts }
 let with_faults faults cfg = { cfg with faults }
 let with_latency latency cfg = { cfg with latency }
 let with_io_latency io_latency cfg = { cfg with io_latency }

@@ -177,10 +177,6 @@ val with_protocol : protocol -> config -> config
 val with_opts : opt list -> config -> config
 (** Replaces the whole [opts] field with [opts_of_list l]. *)
 
-val with_opts_record : opts -> config -> config
-  [@@ocaml.deprecated
-    "use with_opts (the opt-list API) or opts_of_list instead"]
-
 val with_faults : fault list -> config -> config
 val with_latency : float -> config -> config
 val with_io_latency : float -> config -> config

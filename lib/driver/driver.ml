@@ -19,6 +19,7 @@ type sweep_params = {
   sw_n : int;
   sw_mixer : Tpc.Mixer.cfg;
   sw_events : bool;
+  sw_blocking : bool;
 }
 
 type sweep_cell = {
@@ -48,6 +49,16 @@ let with_meta agg_json stats =
       Tpc.Json.Obj (fields @ [ ("meta", meta_json stats) ])
   | other -> other
 
+(* The blocking-window block is opt-in per harness invocation so that
+   output produced before it existed stays byte-identical. *)
+let with_blocking enabled reg json =
+  if not enabled then json
+  else
+    match json with
+    | Tpc.Json.Obj fields ->
+        Tpc.Json.Obj (fields @ [ ("blocking", Faultlab.blocking_json reg) ])
+    | other -> other
+
 (* Fan a list of cell thunks out over the pool, reporting completions
    through [progress] under one lock so callers may mutate state inside. *)
 let run_cells ?progress ~jobs cells =
@@ -74,7 +85,11 @@ let sweep_cells ?progress ~jobs p =
     let agg, w = Tpc.Mixer.run ~config cfg tree in
     let stats = Simkernel.Engine.stats w.Tpc.Run.engine in
     let line =
-      Tpc.Json.to_string (with_meta (Tpc.Metrics.Agg.to_json_value agg) stats)
+      Tpc.Json.to_string
+        (with_meta
+           (with_blocking p.sw_blocking w.Tpc.Run.registry
+              (Tpc.Metrics.Agg.to_json_value agg))
+           stats)
     in
     let events =
       if p.sw_events then
@@ -131,6 +146,7 @@ type chaos_params = {
   ch_protocol_flag : string;
   ch_n : int;
   ch_adversary : bool;
+  ch_blocking : bool;
 }
 
 type chaos_cell = {
@@ -235,6 +251,9 @@ let chaos_cells ?progress ~jobs p =
                 (fun (k, c) -> (k, Tpc.Json.Int c))
                 (Faultlab.accounting_fields acc)
           | None -> [])
+        @ (if p.ch_blocking then
+             [ ("blocking", Faultlab.blocking_json w.Tpc.Run.registry) ]
+           else [])
         @
         match minimized with
         | Some small ->

@@ -27,6 +27,10 @@ type sweep_params = {
   sw_events : bool;
       (** keep full traces and render the per-cell event JSONL; [false]
           runs the cells in counter-only trace mode *)
+  sw_blocking : bool;
+      (** append the per-cell ["blocking"] window block
+          ({!Faultlab.blocking_json}) to each JSON line; off by default so
+          pre-existing sweep output stays byte-identical *)
 }
 
 type sweep_cell = {
@@ -71,6 +75,10 @@ type chaos_params = {
           instead of the benign {!Faultlab.ok}.  Forced on when [ch_plan]
           contains adversarial events, so pasted repros replay under the
           audit that produced them. *)
+  ch_blocking : bool;
+      (** append the per-seed ["blocking"] window block
+          ({!Faultlab.blocking_json}) to each JSONL verdict line; off by
+          default so pre-existing chaos output stays byte-identical *)
 }
 
 type chaos_cell = {

@@ -587,6 +587,34 @@ let accounting_fields a =
     ("rejected_forgeries", a.a_rejected);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Blocking windows                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let blocking_windows = [ "in_doubt"; "blocked_lock"; "heur_exposure" ]
+
+let blocking_json reg =
+  Tpc.Json.Obj
+    (List.map
+       (fun name ->
+         let fields =
+           match Obs.Registry.find_histogram reg ("blocking/" ^ name) with
+           | Some h when Obs.Histogram.count h > 0 ->
+               [
+                 ("count", Tpc.Json.Int (Obs.Histogram.count h));
+                 ("p50", Tpc.Json.Float (Obs.Histogram.quantile h 50.0));
+                 ("p99", Tpc.Json.Float (Obs.Histogram.quantile h 99.0));
+               ]
+           | _ ->
+               [
+                 ("count", Tpc.Json.Int 0);
+                 ("p50", Tpc.Json.Float 0.0);
+                 ("p99", Tpc.Json.Float 0.0);
+               ]
+         in
+         (name, Tpc.Json.Obj fields))
+       blocking_windows)
+
 (* RM records are logged under "<member>.rm"; map them back to the member
    so heuristic-tainted RM evidence can be told apart from honest RM
    evidence. *)

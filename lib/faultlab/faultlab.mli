@@ -215,6 +215,18 @@ val account : Tpc.Run.world -> Tpc.Mixer.txn_summary list -> accounting
 val accounting_fields : accounting -> (string * int) list
 (** Field-name/value pairs, declaration order - for JSON emission. *)
 
+val blocking_windows : string list
+(** The blocking-window histogram names the participants stream under the
+    ["blocking/"] registry prefix: [in_doubt] (time a member sat in the
+    in-doubt phase), [blocked_lock] (in-doubt entry until its locks were
+    released) and [heur_exposure] (a heuristic decision until the real
+    outcome arrived). *)
+
+val blocking_json : Obs.Registry.t -> Tpc.Json.t
+(** Per-window [{"count"; "p50"; "p99"}] summaries read from a world (or
+    merged) registry — the JSONL ["blocking"] block.  A window with no
+    samples reports zeros, so the block's shape is schema-stable. *)
+
 val adversarial_ok : verdict -> accounting -> bool
 (** The pass criterion under an adversary: atomicity violations and
     reported heuristic damage are the measurement, not a failure; what

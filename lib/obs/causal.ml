@@ -1,0 +1,235 @@
+(* Deterministic per-transaction causal event graph; see causal.mli.
+
+   Everything here is driven by the simulator's virtual clock: node ids
+   are assigned in record order and the simulation itself is
+   deterministic, so the graph — and every path extracted from it — is
+   reproducible bit-for-bit for a given seed.
+
+   The recorder never feeds anything back into the simulation: with the
+   mode [Off] every entry point returns immediately without allocating,
+   which is what keeps counter-only harnesses (chaos, sweeps) byte-
+   identical whether or not this module is linked in. *)
+
+type seg = Compute | Log_wait | Msg_wait | Lock_wait | In_doubt
+
+let seg_name = function
+  | Compute -> "compute"
+  | Log_wait -> "log-wait"
+  | Msg_wait -> "msg-wait"
+  | Lock_wait -> "lock-wait"
+  | In_doubt -> "in-doubt"
+
+type mode = Off | Graph
+
+type node = {
+  cn_id : int;
+  cn_txn : string;
+  cn_who : string;
+  cn_time : float;
+  cn_seg : seg;
+  cn_label : string;
+  cn_causes : int list;  (** candidate causes; binding one picked per path *)
+}
+
+type t = {
+  mutable mode : mode;
+  mutable next_id : int;
+  by_id : (int, node) Hashtbl.t;
+  (* last node of each (txn, who) process chain *)
+  chains : (string * string, int) Hashtbl.t;
+  (* unmatched sends per (txn, src, dst, label), newest first *)
+  inflight : (string * string * string * string, int list) Hashtbl.t;
+  (* newest node per txn, and the explicitly-marked terminal *)
+  latest : (string, int) Hashtbl.t;
+  terminals : (string, int) Hashtbl.t;
+}
+
+let create ?(mode = Off) () =
+  {
+    mode;
+    next_id = 0;
+    by_id = Hashtbl.create 64;
+    chains = Hashtbl.create 16;
+    inflight = Hashtbl.create 16;
+    latest = Hashtbl.create 16;
+    terminals = Hashtbl.create 16;
+  }
+
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+let enabled t = t.mode <> Off
+
+let add t ~txn ~who ~time ~seg ~label ~causes =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let n =
+    {
+      cn_id = id;
+      cn_txn = txn;
+      cn_who = who;
+      cn_time = time;
+      cn_seg = seg;
+      cn_label = label;
+      cn_causes = causes;
+    }
+  in
+  Hashtbl.replace t.by_id id n;
+  Hashtbl.replace t.chains (txn, who) id;
+  Hashtbl.replace t.latest txn id;
+  id
+
+let chain_last t ~txn ~who = Hashtbl.find_opt t.chains (txn, who)
+
+let record ?(terminal = false) ?link_from t ~txn ~who ~time ~seg label =
+  if t.mode <> Off then begin
+    let causes =
+      (match chain_last t ~txn ~who with Some i -> [ i ] | None -> [])
+      @
+      match link_from with
+      | Some from when from <> who -> (
+          match chain_last t ~txn ~who:from with Some i -> [ i ] | None -> [])
+      | _ -> []
+    in
+    let id = add t ~txn ~who ~time ~seg ~label ~causes in
+    if terminal then Hashtbl.replace t.terminals txn id
+  end
+
+let send t ~txn ~src ~dst ~time ~label =
+  if t.mode <> Off then begin
+    let causes =
+      match chain_last t ~txn ~who:src with Some i -> [ i ] | None -> []
+    in
+    let id =
+      add t ~txn ~who:src ~time ~seg:Compute
+        ~label:(Printf.sprintf "send %s -> %s" label dst)
+        ~causes
+    in
+    let key = (txn, src, dst, label) in
+    let q = Option.value ~default:[] (Hashtbl.find_opt t.inflight key) in
+    Hashtbl.replace t.inflight key (id :: q)
+  end
+
+(* Match a delivery to the newest unmatched send not in its future: under
+   retransmission the delivered copy is most plausibly the latest one, and
+   a dropped older copy must not soak up the match a younger send owns. *)
+let take_matching_send t ~txn ~src ~dst ~time ~label =
+  let key = (txn, src, dst, label) in
+  match Hashtbl.find_opt t.inflight key with
+  | None -> None
+  | Some q ->
+      let rec pick acc = function
+        | [] -> (None, List.rev acc)
+        | id :: rest ->
+            let n = Hashtbl.find t.by_id id in
+            if n.cn_time <= time then (Some id, List.rev_append acc rest)
+            else pick (id :: acc) rest
+      in
+      let found, rest = pick [] q in
+      (match rest with
+      | [] -> Hashtbl.remove t.inflight key
+      | _ -> Hashtbl.replace t.inflight key rest);
+      found
+
+let deliver t ~txn ~src ~dst ~time ~label =
+  if t.mode <> Off then begin
+    let sent = take_matching_send t ~txn ~src ~dst ~time ~label in
+    let causes =
+      (match chain_last t ~txn ~who:dst with Some i -> [ i ] | None -> [])
+      @ (match sent with Some i -> [ i ] | None -> [])
+    in
+    ignore
+      (add t ~txn ~who:dst ~time ~seg:Msg_wait
+         ~label:(Printf.sprintf "deliver %s from %s" label src)
+         ~causes)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let node_count t = t.next_id
+
+let txn_nodes t ~txn =
+  let nodes =
+    Hashtbl.fold
+      (fun _ n acc -> if n.cn_txn = txn then n :: acc else acc)
+      t.by_id []
+  in
+  List.sort
+    (fun a b ->
+      match compare a.cn_time b.cn_time with
+      | 0 -> compare a.cn_id b.cn_id
+      | c -> c)
+    nodes
+
+type hop = { h_node : node; h_dt : float }
+
+(* The binding cause of a node is the candidate that finished last: the
+   dependency the node actually waited for.  Ties break toward the higher
+   id (recorded later at the same instant), deterministically. *)
+let binding_cause t n =
+  List.fold_left
+    (fun acc id ->
+      let c = Hashtbl.find t.by_id id in
+      match acc with
+      | None -> Some c
+      | Some best ->
+          if
+            c.cn_time > best.cn_time
+            || (c.cn_time = best.cn_time && c.cn_id > best.cn_id)
+          then Some c
+          else Some best)
+    None n.cn_causes
+
+let terminal_node t ~txn =
+  match Hashtbl.find_opt t.terminals txn with
+  | Some id -> Some (Hashtbl.find t.by_id id)
+  | None -> (
+      match Hashtbl.find_opt t.latest txn with
+      | Some id -> Some (Hashtbl.find t.by_id id)
+      | None -> None)
+
+let critical_path t ~txn =
+  match terminal_node t ~txn with
+  | None -> None
+  | Some last ->
+      let rec walk acc n =
+        match binding_cause t n with
+        | None -> { h_node = n; h_dt = 0.0 } :: acc
+        | Some c -> walk ({ h_node = n; h_dt = n.cn_time -. c.cn_time } :: acc) c
+      in
+      Some (walk [] last)
+
+type segments = {
+  sg_log : float;
+  sg_msg : float;
+  sg_lock : float;
+  sg_in_doubt : float;
+  sg_compute : float;
+}
+
+let zero_segments =
+  { sg_log = 0.0; sg_msg = 0.0; sg_lock = 0.0; sg_in_doubt = 0.0; sg_compute = 0.0 }
+
+let path_segments hops =
+  List.fold_left
+    (fun s { h_node; h_dt } ->
+      match h_node.cn_seg with
+      | Log_wait -> { s with sg_log = s.sg_log +. h_dt }
+      | Msg_wait -> { s with sg_msg = s.sg_msg +. h_dt }
+      | Lock_wait -> { s with sg_lock = s.sg_lock +. h_dt }
+      | In_doubt -> { s with sg_in_doubt = s.sg_in_doubt +. h_dt }
+      | Compute -> { s with sg_compute = s.sg_compute +. h_dt })
+    zero_segments hops
+
+let segments_total s =
+  s.sg_log +. s.sg_msg +. s.sg_lock +. s.sg_in_doubt +. s.sg_compute
+
+let segments_list s =
+  [
+    ("log-wait", s.sg_log);
+    ("msg-wait", s.sg_msg);
+    ("lock-wait", s.sg_lock);
+    ("in-doubt", s.sg_in_doubt);
+    ("compute", s.sg_compute);
+  ]

@@ -1,0 +1,258 @@
+(* The causal recorder: chain/edge construction, send-deliver matching,
+   binding-cause critical paths, and the telescoping guarantee that the
+   per-class attribution sums exactly to end-to-end latency — both on
+   hand-built graphs and on a real fixed-seed mixer run. *)
+
+module C = Obs.Causal
+
+let ids nodes = List.map (fun n -> n.C.cn_id) nodes
+let labels hops = List.map (fun h -> h.C.h_node.C.cn_label) hops
+
+(* -- off mode ------------------------------------------------------- *)
+
+let test_off_records_nothing () =
+  let c = C.create () in
+  Alcotest.(check bool) "disabled" false (C.enabled c);
+  C.record c ~txn:"t1" ~who:"a" ~time:0.0 ~seg:C.Compute "e1";
+  C.send c ~txn:"t1" ~src:"a" ~dst:"b" ~time:1.0 ~label:"m";
+  C.deliver c ~txn:"t1" ~src:"a" ~dst:"b" ~time:2.0 ~label:"m";
+  Alcotest.(check int) "no nodes" 0 (C.node_count c);
+  Alcotest.(check bool) "no path" true (C.critical_path c ~txn:"t1" = None)
+
+(* -- chains and edges ----------------------------------------------- *)
+
+let test_chain_edges () =
+  let c = C.create ~mode:C.Graph () in
+  C.record c ~txn:"t1" ~who:"a" ~time:0.0 ~seg:C.Compute "first";
+  C.record c ~txn:"t1" ~who:"a" ~time:1.0 ~seg:C.Compute "second";
+  C.record c ~txn:"t1" ~who:"b" ~time:2.0 ~seg:C.Compute "other chain";
+  match C.txn_nodes c ~txn:"t1" with
+  | [ n0; n1; n2 ] ->
+      Alcotest.(check (list int)) "chain head has no cause" [] n0.C.cn_causes;
+      Alcotest.(check (list int))
+        "second caused by first" [ n0.C.cn_id ] n1.C.cn_causes;
+      Alcotest.(check (list int))
+        "chains are per (txn, who)" [] n2.C.cn_causes
+  | nodes -> Alcotest.failf "expected 3 nodes, got %d" (List.length nodes)
+
+let test_link_from () =
+  let c = C.create ~mode:C.Graph () in
+  C.record c ~txn:"t1" ~who:"root" ~time:0.0 ~seg:C.Compute "trigger";
+  C.record c ~txn:"t1" ~who:"sub" ~time:1.0 ~link_from:"root" ~seg:C.Compute
+    "unsolicited";
+  match C.txn_nodes c ~txn:"t1" with
+  | [ root; sub ] ->
+      Alcotest.(check (list int))
+        "cross-chain edge from root" [ root.C.cn_id ] sub.C.cn_causes
+  | _ -> Alcotest.fail "expected 2 nodes"
+
+let test_txn_isolation () =
+  let c = C.create ~mode:C.Graph () in
+  C.record c ~txn:"t1" ~who:"a" ~time:0.0 ~seg:C.Compute "t1 event";
+  C.record c ~txn:"t2" ~who:"a" ~time:1.0 ~seg:C.Compute "t2 event";
+  (match C.txn_nodes c ~txn:"t2" with
+  | [ n ] -> Alcotest.(check (list int)) "no cross-txn cause" [] n.C.cn_causes
+  | _ -> Alcotest.fail "expected 1 node");
+  Alcotest.(check int) "t1 unpolluted" 1
+    (List.length (C.txn_nodes c ~txn:"t1"))
+
+(* -- send/deliver matching ------------------------------------------ *)
+
+let test_send_deliver_match () =
+  let c = C.create ~mode:C.Graph () in
+  C.send c ~txn:"t1" ~src:"a" ~dst:"b" ~time:0.0 ~label:"Prepare";
+  C.deliver c ~txn:"t1" ~src:"a" ~dst:"b" ~time:2.0 ~label:"Prepare";
+  match C.txn_nodes c ~txn:"t1" with
+  | [ s; d ] ->
+      Alcotest.(check (list int))
+        "delivery caused by its send" [ s.C.cn_id ] d.C.cn_causes
+  | _ -> Alcotest.fail "expected 2 nodes"
+
+let test_retransmit_matches_newest_send () =
+  let c = C.create ~mode:C.Graph () in
+  C.send c ~txn:"t1" ~src:"a" ~dst:"b" ~time:0.0 ~label:"Commit";
+  C.send c ~txn:"t1" ~src:"a" ~dst:"b" ~time:5.0 ~label:"Commit";
+  C.deliver c ~txn:"t1" ~src:"a" ~dst:"b" ~time:7.0 ~label:"Commit";
+  let nodes = C.txn_nodes c ~txn:"t1" in
+  match nodes with
+  | [ _s0; s1; d ] ->
+      (* the retransmitted copy, not the original, is the message edge;
+         the chain edge from s1 to itself-prev also lands in causes *)
+      Alcotest.(check bool)
+        "newest send is a cause" true
+        (List.mem s1.C.cn_id d.C.cn_causes)
+  | _ -> Alcotest.failf "expected 3 nodes, got %d" (List.length nodes)
+
+let test_deliver_never_matches_future_send () =
+  let c = C.create ~mode:C.Graph () in
+  C.send c ~txn:"t1" ~src:"a" ~dst:"b" ~time:9.0 ~label:"Commit";
+  C.deliver c ~txn:"t1" ~src:"a" ~dst:"b" ~time:3.0 ~label:"Commit";
+  match C.txn_nodes c ~txn:"t1" with
+  | [ _; _ ] ->
+      let d =
+        List.find (fun n -> n.C.cn_time = 3.0) (C.txn_nodes c ~txn:"t1")
+      in
+      Alcotest.(check (list int)) "no acausal edge" [] d.C.cn_causes
+  | _ -> Alcotest.fail "expected 2 nodes"
+
+let test_forged_delivery_has_no_message_edge () =
+  let c = C.create ~mode:C.Graph () in
+  C.deliver c ~txn:"t1" ~src:"a" ~dst:"b" ~time:1.0 ~label:"Commit";
+  match C.txn_nodes c ~txn:"t1" with
+  | [ d ] -> Alcotest.(check (list int)) "no causes" [] d.C.cn_causes
+  | _ -> Alcotest.fail "expected 1 node"
+
+(* -- critical path -------------------------------------------------- *)
+
+(* A two-member commit shape: root computes, sends, sub logs and votes,
+   root completes.  The binding chain must route through the message
+   path even though a faster local step exists on the root's chain. *)
+let build_diamond () =
+  let c = C.create ~mode:C.Graph () in
+  C.record c ~txn:"t1" ~who:"root" ~time:0.0 ~seg:C.Compute "arrival";
+  C.send c ~txn:"t1" ~src:"root" ~dst:"sub" ~time:1.0 ~label:"Prepare";
+  C.deliver c ~txn:"t1" ~src:"root" ~dst:"sub" ~time:2.0 ~label:"Prepare";
+  C.record c ~txn:"t1" ~who:"sub" ~time:4.0 ~seg:C.Log_wait "prepared durable";
+  C.send c ~txn:"t1" ~src:"sub" ~dst:"root" ~time:4.0 ~label:"Vote";
+  C.record c ~txn:"t1" ~who:"root" ~time:1.5 ~seg:C.Compute "local step";
+  C.deliver c ~txn:"t1" ~src:"sub" ~dst:"root" ~time:5.0 ~label:"Vote";
+  C.record c ~terminal:true ~txn:"t1" ~who:"root" ~time:5.5 ~seg:C.Compute
+    "completed";
+  c
+
+let test_critical_path_follows_binding_cause () =
+  let c = build_diamond () in
+  match C.critical_path c ~txn:"t1" with
+  | None -> Alcotest.fail "expected a path"
+  | Some hops ->
+      Alcotest.(check (list string))
+        "binding chain routes through the subordinate"
+        [
+          "arrival";
+          "send Prepare -> sub";
+          "deliver Prepare from root";
+          "prepared durable";
+          "send Vote -> root";
+          "deliver Vote from sub";
+          "completed";
+        ]
+        (labels hops);
+      (match hops with
+      | head :: _ -> Alcotest.(check (float 0.0)) "head dt" 0.0 head.C.h_dt
+      | [] -> Alcotest.fail "empty path");
+      let segs = C.path_segments hops in
+      Alcotest.(check (float 1e-9))
+        "telescoping: buckets sum to end-to-end" 5.5 (C.segments_total segs);
+      Alcotest.(check (float 1e-9)) "log-wait bucket" 2.0 segs.C.sg_log;
+      Alcotest.(check (float 1e-9)) "msg-wait bucket" 2.0 segs.C.sg_msg;
+      Alcotest.(check (float 1e-9)) "compute bucket" 1.5 segs.C.sg_compute
+
+let test_terminal_preferred_over_latest () =
+  let c = C.create ~mode:C.Graph () in
+  C.record c ~txn:"t1" ~who:"a" ~time:0.0 ~seg:C.Compute "arrival";
+  C.record c ~terminal:true ~txn:"t1" ~who:"a" ~time:2.0 ~seg:C.Compute
+    "terminal";
+  C.record c ~txn:"t1" ~who:"a" ~time:9.0 ~seg:C.In_doubt "late cleanup";
+  match C.critical_path c ~txn:"t1" with
+  | Some hops ->
+      Alcotest.(check string)
+        "path ends at the marked terminal" "terminal"
+        (List.nth hops (List.length hops - 1)).C.h_node.C.cn_label
+  | None -> Alcotest.fail "expected a path"
+
+let test_empty_txn_has_no_path () =
+  let c = C.create ~mode:C.Graph () in
+  Alcotest.(check bool) "no path" true (C.critical_path c ~txn:"ghost" = None);
+  Alcotest.(check (list int)) "no nodes" [] (ids (C.txn_nodes c ~txn:"ghost"))
+
+(* -- integration: attribution accounts for all latency -------------- *)
+
+(* The PR's acceptance criterion: on a real run, every committed
+   transaction's critical-path buckets sum exactly to its end-to-end
+   latency (completion - arrival). *)
+let test_mixer_attribution_sums_to_latency () =
+  let cfg =
+    { Tpc.Mixer.default_cfg with Tpc.Mixer.txns = 30; concurrency = 6; seed = 11 }
+  in
+  let tree = Workload.mixer_tree ~n:4 ~opts:[] () in
+  let _agg, w, summaries =
+    Tpc.Mixer.run_full ~causal:C.Graph cfg tree
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun s ->
+      match s.Tpc.Mixer.ts_completed with
+      | None -> ()
+      | Some done_at ->
+          let expect = done_at -. s.Tpc.Mixer.ts_arrival in
+          (match C.critical_path w.Tpc.Run.causal ~txn:s.Tpc.Mixer.ts_txn with
+          | None ->
+              Alcotest.failf "txn %s completed but has no causal path"
+                s.Tpc.Mixer.ts_txn
+          | Some hops ->
+              let total = C.segments_total (C.path_segments hops) in
+              if Float.abs (total -. expect) > 1e-6 then
+                Alcotest.failf
+                  "txn %s: attribution %.9f <> end-to-end %.9f"
+                  s.Tpc.Mixer.ts_txn total expect;
+              incr checked))
+    summaries;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d completed transactions" !checked)
+    true
+    (!checked >= 25)
+
+let test_mixer_graph_deterministic () =
+  let cfg =
+    { Tpc.Mixer.default_cfg with Tpc.Mixer.txns = 20; concurrency = 4; seed = 5 }
+  in
+  let tree = Workload.mixer_tree ~n:4 ~opts:[] () in
+  let narrative () =
+    let _, w, _ = Tpc.Mixer.run_full ~causal:C.Graph cfg tree in
+    List.concat_map
+      (fun i ->
+        let txn = Printf.sprintf "mx-%d" i in
+        List.map
+          (fun n ->
+            Printf.sprintf "%d %s %s %.6f %s" n.C.cn_id n.C.cn_txn n.C.cn_who
+              n.C.cn_time n.C.cn_label)
+          (C.txn_nodes w.Tpc.Run.causal ~txn))
+      (List.init 20 (fun i -> i + 1))
+  in
+  Alcotest.(check (list string))
+    "same seed, same graph" (narrative ()) (narrative ())
+
+let test_mixer_off_mode_records_nothing () =
+  let cfg =
+    { Tpc.Mixer.default_cfg with Tpc.Mixer.txns = 10; concurrency = 2; seed = 3 }
+  in
+  let tree = Workload.mixer_tree ~n:4 ~opts:[] () in
+  let _, w, _ = Tpc.Mixer.run_full cfg tree in
+  Alcotest.(check int) "off by default" 0 (C.node_count w.Tpc.Run.causal)
+
+let suite =
+  [
+    Alcotest.test_case "off mode records nothing" `Quick test_off_records_nothing;
+    Alcotest.test_case "chain edges" `Quick test_chain_edges;
+    Alcotest.test_case "cross-chain link_from" `Quick test_link_from;
+    Alcotest.test_case "transactions are isolated" `Quick test_txn_isolation;
+    Alcotest.test_case "send/deliver matching" `Quick test_send_deliver_match;
+    Alcotest.test_case "retransmission matches newest send" `Quick
+      test_retransmit_matches_newest_send;
+    Alcotest.test_case "no acausal message edge" `Quick
+      test_deliver_never_matches_future_send;
+    Alcotest.test_case "forged delivery has no message edge" `Quick
+      test_forged_delivery_has_no_message_edge;
+    Alcotest.test_case "critical path follows binding cause" `Quick
+      test_critical_path_follows_binding_cause;
+    Alcotest.test_case "marked terminal preferred" `Quick
+      test_terminal_preferred_over_latest;
+    Alcotest.test_case "empty transaction has no path" `Quick
+      test_empty_txn_has_no_path;
+    Alcotest.test_case "attribution sums to end-to-end latency" `Quick
+      test_mixer_attribution_sums_to_latency;
+    Alcotest.test_case "graph is deterministic" `Quick
+      test_mixer_graph_deterministic;
+    Alcotest.test_case "mixer defaults to off" `Quick
+      test_mixer_off_mode_records_nothing;
+  ]

@@ -13,6 +13,7 @@ let sweep_params ~events =
     sw_n = 4;
     sw_mixer = { Tpc.Mixer.default_cfg with Tpc.Mixer.txns = 80 };
     sw_events = events;
+    sw_blocking = false;
   }
 
 let chaos_params ?(broken = false) ?plan ~seeds () =
@@ -47,6 +48,7 @@ let chaos_params ?(broken = false) ?plan ~seeds () =
     ch_protocol_flag = "pa";
     ch_n = 4;
     ch_adversary = false;
+    ch_blocking = false;
   }
 
 (* a mid-workload crash+restart that the amnesiac restart turns into a
@@ -136,10 +138,41 @@ let test_chaos_violation_identical () =
           (c1.Driver.cc_repro <> None))
     cells1 cells4
 
+let test_blocking_block_identical_across_jobs () =
+  (* the per-cell blocking summaries come from per-world registries merged
+     at fan-in, so the emitted block must not depend on the job count, and
+     switching it on must only append — never perturb — the line *)
+  let chaos jobs =
+    let cells, _ =
+      Driver.chaos_cells ~jobs
+        { (chaos_params ~seeds:6 ()) with Driver.ch_blocking = true }
+    in
+    List.map (fun c -> c.Driver.cc_line) cells
+  in
+  let lines1 = chaos 1 in
+  check_lines "chaos blocking lines identical" lines1 (chaos 2);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "verdict line carries the blocking block" true
+        (match Tpc.Json.member "blocking" (Tpc.Json.parse line) with
+        | Some _ -> true
+        | None -> false))
+    lines1;
+  let sweep jobs =
+    let cells, _ =
+      Driver.sweep_cells ~jobs
+        { (sweep_params ~events:false) with Driver.sw_blocking = true }
+    in
+    List.map (fun c -> c.Driver.sc_line) cells
+  in
+  check_lines "sweep blocking lines identical" (sweep 1) (sweep 2)
+
 let suite =
   [
     Alcotest.test_case "sweep jobs=4 byte-identical to jobs=1" `Quick
       test_sweep_byte_identical;
+    Alcotest.test_case "blocking block identical across jobs" `Quick
+      test_blocking_block_identical_across_jobs;
     Alcotest.test_case "counter-only trace mode same metrics" `Quick
       test_sweep_counter_mode_same_lines;
     Alcotest.test_case "chaos jobs=4 byte-identical to jobs=1" `Quick

@@ -27,6 +27,7 @@ let () =
       ("opts-api", Test_opts_api.suite);
       ("mixer", Test_mixer.suite);
       ("obs", Test_obs.suite);
+      ("causal", Test_causal.suite);
       ("telemetry", Test_telemetry.suite);
       ("parallel", Test_parallel.suite);
       ("driver", Test_driver.suite);

@@ -127,6 +127,66 @@ let test_merge_matches_combined () =
         (H.quantile hboth p) (H.quantile hx p))
     [ 50.0; 95.0; 99.0 ]
 
+let test_empty_percentile_extremes () =
+  let h = H.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty p%.0f is nan" p)
+        true
+        (Float.is_nan (H.quantile h p)))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  check_float "empty sum" 0.0 (H.sum h);
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (H.mean h))
+
+let test_single_sample () =
+  let h = H.create () in
+  H.record h 7.25;
+  Alcotest.(check int) "one sample" 1 (H.count h);
+  check_float "mean is the sample" 7.25 (H.mean h);
+  check_float "min is the sample" 7.25 (H.min_value h);
+  check_float "max is the sample" 7.25 (H.max_value h);
+  (* every quantile of a one-sample stream clamps to that sample *)
+  List.iter
+    (fun p ->
+      check_float (Printf.sprintf "p%.0f is the sample" p) 7.25
+        (H.quantile h p))
+    [ 0.0; 1.0; 50.0; 99.0; 100.0 ]
+
+let test_merge_associative () =
+  let rng = Simkernel.Det_rng.create ~seed:31 in
+  let stream n mean =
+    List.init n (fun _ -> Simkernel.Det_rng.exponential rng ~mean)
+  in
+  let xs = stream 1_000 2.0
+  and ys = stream 1_000 20.0
+  and zs = stream 1_000 200.0 in
+  let fill s =
+    let h = H.create () in
+    List.iter (H.record h) s;
+    h
+  in
+  (* merge(a, merge(b, c)) *)
+  let right = fill ys in
+  H.merge ~into:right (fill zs);
+  let a_bc = fill xs in
+  H.merge ~into:a_bc right;
+  (* merge(merge(a, b), c) *)
+  let ab_c = fill xs in
+  H.merge ~into:ab_c (fill ys);
+  H.merge ~into:ab_c (fill zs);
+  Alcotest.(check int) "counts agree" (H.count a_bc) (H.count ab_c);
+  check_float "sums agree" (H.sum a_bc) (H.sum ab_c);
+  check_float "mins agree" (H.min_value a_bc) (H.min_value ab_c);
+  check_float "maxes agree" (H.max_value a_bc) (H.max_value ab_c);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "p%.0f agrees either grouping" p)
+        (H.quantile a_bc p) (H.quantile ab_c p))
+    [ 0.0; 25.0; 50.0; 95.0; 99.0; 100.0 ]
+
 let test_merge_resolution_mismatch () =
   let a = H.create ~buckets_per_decade:10 () in
   let b = H.create ~buckets_per_decade:30 () in
@@ -263,6 +323,10 @@ let suite =
       test_memory_independent_of_samples;
     Alcotest.test_case "merge equals combined stream" `Quick
       test_merge_matches_combined;
+    Alcotest.test_case "empty percentile extremes" `Quick
+      test_empty_percentile_extremes;
+    Alcotest.test_case "single sample" `Quick test_single_sample;
+    Alcotest.test_case "merge is associative" `Quick test_merge_associative;
     Alcotest.test_case "merge rejects mixed resolutions" `Quick
       test_merge_resolution_mismatch;
     Alcotest.test_case "summary" `Quick test_summary;
