@@ -13,7 +13,9 @@
    must be present as a non-negative integer, and the adversarial
    damage-classification fields — emitted only under `--adversary` — must
    appear as a complete non-negative block whenever any one of them
-   appears.  Any line carrying a "blocking" block (emitted under
+   appears; the same all-or-none rule applies to the certified-protocol
+   fields (f, corrupted_replicas, cert_refusals) a `--protocol bft` line
+   carries.  Any line carrying a "blocking" block (emitted under
    `--blocking` by sweep and chaos) must have all three windows
    (in_doubt, blocked_lock, heur_exposure), each with a non-negative
    integer count and non-negative p50/p99.  Exits 1 on the first
@@ -44,6 +46,10 @@ let accounting_fields =
     "blocked";
     "rejected_forgeries";
   ]
+
+(* the certified-protocol block emitted when the protocol carries
+   decision certificates (--protocol bft) *)
+let certificate_fields = [ "f"; "corrupted_replicas"; "cert_refusals" ]
 
 (* the per-window summaries inside a "blocking" block (--blocking) *)
 let blocking_windows = [ "in_doubt"; "blocked_lock"; "heur_exposure" ]
@@ -101,7 +107,11 @@ let check_chaos_line path lineno json =
       List.iter (nonneg_int "benign" path lineno json) verdict_fields;
       if List.exists (fun f -> Tpc.Json.member f json <> None) accounting_fields
       then
-        List.iter (nonneg_int "adversarial" path lineno json) accounting_fields
+        List.iter (nonneg_int "adversarial" path lineno json) accounting_fields;
+      if
+        List.exists (fun f -> Tpc.Json.member f json <> None) certificate_fields
+      then
+        List.iter (nonneg_int "certificate" path lineno json) certificate_fields
   | _ -> ()
 
 let check_line path lineno json =

@@ -69,6 +69,15 @@ let n_arg =
   let doc = "Number of members in the commit tree." in
   Arg.(value & opt int 5 & info [ "n"; "members" ] ~doc)
 
+let f_arg =
+  let doc =
+    "Replica fault tolerance for certified protocols (bft): the decision \
+     maker runs 2f+1 coordinator replicas and a decision is only valid \
+     with a certificate of at least f+1 matching endorsements.  Ignored \
+     by the paper's three (uncertified) families."
+  in
+  Arg.(value & opt int 1 & info [ "f" ] ~doc ~docv:"F")
+
 let m_arg =
   let doc = "Number of members following the enabled optimization." in
   Arg.(value & opt int 0 & info [ "m" ] ~doc)
@@ -168,7 +177,7 @@ let pick_cost_opt opts =
   else if on `Wait_for_outcome then Some Tpc.Cost_model.Wait_for_outcome_opt
   else None
 
-let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram
+let run_cmd protocol opt_names n m f shape seed latency show_trace show_diagram
     trace_out events_out =
   if n < 1 then (
     Printf.eprintf "tpc_sim: -n must be at least 1\n";
@@ -177,10 +186,13 @@ let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram
     if m <> 0 then (
       Printf.eprintf "tpc_sim: -m must satisfy 0 <= m < n\n";
       exit 2);
+  if f < 0 then (
+    Printf.eprintf "tpc_sim: --f must be non-negative\n";
+    exit 2);
   let opts = build_opts opt_names in
   let config =
     default_config |> with_protocol protocol |> with_opts opts
-    |> with_latency latency
+    |> with_latency latency |> with_bft_f f
   in
   let tree = make_tree shape seed n (pick_cost_opt opts) m in
   let metrics, world = Tpc.Run.commit_tree ~config tree in
@@ -195,13 +207,13 @@ let run_cmd protocol opt_names n m shape seed latency show_trace show_diagram
 
 let run_term =
   Term.(
-    const run_cmd $ protocol_arg $ opts_arg $ n_arg $ m_arg $ shape_arg
+    const run_cmd $ protocol_arg $ opts_arg $ n_arg $ m_arg $ f_arg $ shape_arg
     $ seed_arg $ latency_arg $ trace_arg $ diagram_arg $ trace_out_arg
     $ events_arg)
 
 (* --- tables ------------------------------------------------------------ *)
 
-let tables_cmd n m r =
+let tables_cmd n m f r =
   Format.printf "Table 3 (n=%d, m=%d): simulated = paper formula@.@." n m;
   List.iter
     (fun (label, counts) ->
@@ -219,13 +231,31 @@ let tables_cmd n m r =
   List.iter
     (fun (label, counts) ->
       Format.printf "  %-36s %a@." label Tpc.Cost_model.pp_counts counts)
-    (Tpc.Cost_model.table4 ~r)
+    (Tpc.Cost_model.table4 ~r);
+  (* the resilience-vs-cost frontier: what certified (Byzantine-tolerant)
+     commit adds on top of the same tree, closed form next to simulation *)
+  Format.printf "@.Byzantine tolerance (n=%d): simulated = paper formula@." n;
+  List.iter
+    (fun f ->
+      Format.printf "  %-28s %a@."
+        (Printf.sprintf "BFT commit (f=%d)" f)
+        Tpc.Cost_model.pp_counts (Tpc.Cost_model.bft ~f ~n))
+    (List.sort_uniq compare [ 0; 1; max 0 f ]);
+  (match Tpc.Protocol.of_string "bft" with
+  | None -> ()
+  | Some p ->
+      let config = default_config |> with_protocol p |> with_bft_f f in
+      let metrics, _w = Tpc.Run.commit_tree ~config (Workload.flat ~n ()) in
+      Format.printf "@.Simulated:@.  %-28s %a@."
+        (Printf.sprintf "BFT commit (f=%d)" f)
+        Tpc.Cost_model.pp_counts
+        (Tpc.Metrics.counts metrics))
 
 let tables_term =
   let r_arg =
     Arg.(value & opt int 12 & info [ "r" ] ~doc:"Chained transactions (Table 4).")
   in
-  Term.(const tables_cmd $ n_arg $ m_arg $ r_arg)
+  Term.(const tables_cmd $ n_arg $ m_arg $ f_arg $ r_arg)
 
 (* --- figures ------------------------------------------------------------ *)
 
@@ -309,7 +339,7 @@ let group_term =
    --jobs worker domains and fan in by index, so stdout and the events
    file are byte-identical whatever the job count; the wall-clock engine
    profile (nondeterministic by nature) only ever goes to stderr. *)
-let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
+let sweep_cmd protocol opt_sets concurrencies n f txns keyspace update_prob
     read_prob interarrival lock_timeout seed group events_out blocking progress
     jobs =
   if n < 2 then (
@@ -339,7 +369,7 @@ let sweep_cmd protocol opt_sets concurrencies n txns keyspace update_prob
   let params =
     {
       Driver.sw_config =
-        (default_config |> with_protocol protocol
+        (default_config |> with_protocol protocol |> with_bft_f f
         |> (match group with
            | Some (size, timeout) -> with_group_commit ~size ~timeout
            | None -> Fun.id)
@@ -439,8 +469,8 @@ let sweep_term =
              with cells done / total and elapsed wall time.")
   in
   Term.(
-    const sweep_cmd $ protocol_arg $ opts_arg $ concurrencies $ n_arg $ txns
-    $ keyspace $ update_prob $ read_prob $ interarrival $ lock_timeout
+    const sweep_cmd $ protocol_arg $ opts_arg $ concurrencies $ n_arg $ f_arg
+    $ txns $ keyspace $ update_prob $ read_prob $ interarrival $ lock_timeout
     $ seed_arg $ group $ events_arg $ blocking_arg $ progress $ jobs_arg)
 
 (* --- explain ---------------------------------------------------------------- *)
@@ -700,18 +730,29 @@ let crash_term =
 
 (* --- chaos ------------------------------------------------------------------ *)
 
-let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
+let chaos_cmd protocol opt_names n f seeds seed0 txns concurrency crashes
     partitions drops jitters horizon adversary equivocations vote_flips
-    forgeries forced_heuristics plan_str broken no_shrink out blocking jobs =
+    forgeries forced_heuristics replays corruptions group gc_target plan_str
+    broken no_shrink out blocking jobs =
   if n < 2 then (
     Printf.eprintf "tpc_sim chaos: -n must be at least 2\n";
     exit 2);
   if seeds < 1 then (
     Printf.eprintf "tpc_sim chaos: --seeds must be at least 1\n";
     exit 2);
+  if f < 0 then (
+    Printf.eprintf "tpc_sim chaos: --f must be non-negative\n";
+    exit 2);
+  if gc_target && group = None then (
+    Printf.eprintf "tpc_sim chaos: --gc-target needs --group SIZE,TIMEOUT\n";
+    exit 2);
   let opts = build_opts opt_names in
   let config =
     default_config |> with_protocol protocol |> with_opts opts
+    |> with_bft_f f
+    |> (match group with
+       | Some (size, timeout) -> with_group_commit ~size ~timeout
+       | None -> Fun.id)
     |> with_retries ~interval:25.0 ~max:8
     |> with_prepare_retries 2 |> with_retry_backoff 2.0
   in
@@ -728,14 +769,20 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
      gets a default mix of two of each adversarial kind *)
   let adversary =
     adversary || equivocations > 0 || vote_flips > 0 || forgeries > 0
-    || forced_heuristics > 0
+    || forced_heuristics > 0 || replays > 0 || corruptions > 0
   in
   let gen_cfg =
     { Faultlab.default_gen with crashes; partitions; drops; jitters; horizon }
   in
   let gen_cfg =
     if not adversary then gen_cfg
-    else if equivocations + vote_flips + forgeries + forced_heuristics = 0 then
+    else if
+      equivocations + vote_flips + forgeries + forced_heuristics + replays
+      + corruptions
+      = 0
+    then
+      (* the PR7 default mix, byte-identical plans: replays and replica
+         corruptions only appear when asked for explicitly *)
       {
         gen_cfg with
         Faultlab.equivocations = 2;
@@ -750,7 +797,18 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
         vote_flips;
         forgeries;
         forced_heuristics;
+        replays;
+        corruptions;
       }
+  in
+  let gen_cfg =
+    {
+      gen_cfg with
+      Faultlab.corrupt_domain = (2 * f) + 1;
+      gc_align =
+        (if gc_target then Option.map (fun (_, timeout) -> timeout) group
+         else None);
+    }
   in
   let fixed_plan =
     match plan_str with
@@ -811,13 +869,32 @@ let chaos_cmd protocol opt_names n seeds seed0 txns concurrency crashes
       | Some _, None -> acc)
     None cells
   |> Option.iter (fun (t : Faultlab.accounting) ->
+         let certified =
+           (Tpc.Protocol.resolve protocol).Tpc.Protocol.p_certify <> None
+         in
+         let cert_refusals =
+           List.fold_left
+             (fun acc (cell : Driver.chaos_cell) ->
+               acc + cell.Driver.cc_cert_refusals)
+             0 cells
+         in
+         let corrupted =
+           List.fold_left
+             (fun acc (cell : Driver.chaos_cell) ->
+               acc + cell.Driver.cc_corrupted)
+             0 cells
+         in
          Printf.eprintf
            "tpc_sim chaos: adversary damage (%s, %d seeds): \
             atomicity=%d heur_reported=%d heur_silent=%d blocked=%d \
-            rejected_forgeries=%d\n"
+            rejected_forgeries=%d%s\n"
            (Tpc.Protocol.flag protocol) seeds t.Faultlab.a_atomicity
            t.Faultlab.a_heur_reported t.Faultlab.a_heur_silent
-           t.Faultlab.a_blocked t.Faultlab.a_rejected);
+           t.Faultlab.a_blocked t.Faultlab.a_rejected
+           (if certified then
+              Printf.sprintf " cert_refusals=%d corrupted_replicas=%d f=%d"
+                cert_refusals corrupted f
+            else ""));
   if !violations > 0 then exit 1
 
 let chaos_term =
@@ -894,6 +971,42 @@ let chaos_term =
             "Scheduled heuristic-damage events per plan (implies \
              --adversary).")
   in
+  let replays =
+    Arg.(
+      value & opt int 0
+      & info [ "replays" ]
+          ~doc:
+            "Stale-payload replay events per plan: re-deliver a genuine \
+             earlier bundle on a live link, unmodified (implies \
+             --adversary).")
+  in
+  let corruptions =
+    Arg.(
+      value & opt int 0
+      & info [ "corrupt-replicas" ]
+          ~doc:
+            "Coordinator-replica corruption events per plan, over a \
+             2f+1-replica domain: each hands the adversary one replica's \
+             endorsement key.  With more than --f of them it can forge \
+             decision certificates (implies --adversary).")
+  in
+  let group =
+    Arg.(
+      value
+      & opt (some (pair int float)) None
+      & info [ "group" ]
+          ~doc:"Group commit as SIZE,TIMEOUT (e.g. --group 16,2.0).")
+  in
+  let gc_target =
+    Arg.(
+      value & flag
+      & info [ "gc-target" ]
+          ~doc:
+            "Align every generated adversarial event to the group-commit \
+             batched-force boundary (multiples of the --group TIMEOUT), so \
+             faults land exactly when a batch of decisions is being \
+             hardened.")
+  in
   let plan =
     Arg.(
       value
@@ -923,10 +1036,11 @@ let chaos_term =
       & info [ "out" ] ~docv:"FILE" ~doc:"Write JSONL verdicts here instead of stdout.")
   in
   Term.(
-    const chaos_cmd $ protocol_arg $ opts_arg $ n_arg $ seeds $ seed_arg $ txns
-    $ concurrency $ crashes $ partitions $ drops $ jitters $ horizon
-    $ adversary $ equivocations $ vote_flips $ forgeries $ forced_heuristics
-    $ plan $ broken $ no_shrink $ out $ blocking_arg $ jobs_arg)
+    const chaos_cmd $ protocol_arg $ opts_arg $ n_arg $ f_arg $ seeds
+    $ seed_arg $ txns $ concurrency $ crashes $ partitions $ drops $ jitters
+    $ horizon $ adversary $ equivocations $ vote_flips $ forgeries
+    $ forced_heuristics $ replays $ corruptions $ group $ gc_target $ plan
+    $ broken $ no_shrink $ out $ blocking_arg $ jobs_arg)
 
 (* --- command tree ------------------------------------------------------------- *)
 

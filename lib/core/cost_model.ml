@@ -78,6 +78,23 @@ let presumed_nothing ?(cascaded = 0) ~n () =
     Ack flow disappears).  Exposed for the Table 2 abort row with n=2. *)
 let pa_abort_two_members = { flows = 3; writes = 0; forced = 0 }
 
+(** Byzantine-tolerant commit: on top of the baseline tree cost, the
+    decision maker runs a [2f+1]-replica endorsement round (4 flows and 2
+    forced writes per extra replica - request/endorse both ways and each
+    replica's forced endorsement record, charged to the ensemble) and
+    every member appends one certificate record that hardens with the
+    outcome force it precedes ([n] non-forced writes).  With [f = 0] the
+    certificate degenerates to a self-endorsement and only the appends
+    remain. *)
+let bft ~f ~n =
+  let b = basic ~n in
+  let f = max 0 f in
+  {
+    flows = b.flows + (4 * f);
+    writes = b.writes + (2 * f) + n;
+    forced = b.forced + (2 * f);
+  }
+
 (** Per-member savings of each optimization, as stated in Section 4. *)
 let savings = function
   | Read_only_opt -> (2, 3, 2) (* flows, writes, forced saved per member *)

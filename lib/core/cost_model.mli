@@ -50,6 +50,13 @@ val presumed_nothing : ?cascaded:int -> n:int -> unit -> counts
     [cascaded] is the number of internal non-root members (0 in a flat
     tree). *)
 
+val bft : f:int -> n:int -> counts
+(** Byzantine-tolerant commit totals for an [n]-member tree tolerating
+    [f] traitorous coordinator replicas: baseline plus [4f] flows and
+    [2f] forced writes for the [2f+1]-replica endorsement round, plus
+    [n] non-forced certificate appends (one per member, hardened by the
+    outcome force each precedes).  What Tables 2-4 charge for tolerance. *)
+
 val pa_abort_two_members : counts
 (** PA abort case where the lone decision maker hears a NO: no logging
     anywhere, no acks.  Exposed for the Table 2 abort row with n=2. *)

@@ -12,6 +12,49 @@ type damage_report = {
   d_outcome : Types.outcome;  (** what the transaction actually decided *)
 }
 
+(** {2 BFT decision certificates}
+
+    The BFT commit variant ({!Protocol_bft}) replicates the coordinator
+    over 2f+1 replicas; a decision is only actionable when carried by a
+    certificate of at least f+1 matching endorsements over the same vote
+    set.  Signatures are simulated with a deterministic digest: honest
+    nodes recompute and check them, and the chaos adversary can only
+    produce them for replicas it has corrupted. *)
+
+type endorsement = {
+  e_replica : int;  (** replica index in [0, 2f] *)
+  e_outcome : Types.outcome;
+  e_votes : string;  (** digest of the vote set the replica endorsed *)
+  e_sig : string;  (** simulated signature binding replica/txn/outcome/votes *)
+}
+
+type certificate = { c_endorsements : endorsement list }
+
+val digest : string -> string
+(** Deterministic 30-bit FNV-1a digest, hex-printed. *)
+
+val endorse :
+  replica:int -> txn:string -> outcome:Types.outcome -> votes:string ->
+  endorsement
+(** Build one replica's endorsement, correctly signed. *)
+
+val certificate_valid :
+  f:int -> txn:string -> outcome:Types.outcome -> certificate -> bool
+(** True iff the certificate carries at least f+1 endorsements from
+    distinct replicas in [0, 2f], every signature recomputes, every
+    endorsement names [outcome], and all endorsements cover the same vote
+    set. *)
+
+val vote_tag : src:string -> txn:string -> Types.vote -> string
+(** Simulated voter signature over (voter, txn, vote); lets a BFT
+    coordinator detect votes flipped in flight. *)
+
+val cert_to_string : certificate -> string
+(** WAL payload encoding; round-trips through {!cert_of_string}. *)
+
+val cert_of_string : string -> certificate option
+(** [None] on the empty string or any malformed input. *)
+
 type payload =
   | Prepare of {
       txn : string;
@@ -27,8 +70,16 @@ type payload =
       implied_ack : bool;
           (** the voter is a reliable resource whose acknowledgment will be
               implied rather than sent (Vote Reliable, Figure 8) *)
+      tag : string;
+          (** simulated voter signature ({!vote_tag}); [""] under the
+              non-BFT protocols, which never check it *)
     }
-  | Decision_msg of { txn : string; outcome : Types.outcome }
+  | Decision_msg of {
+      txn : string;
+      outcome : Types.outcome;
+      cert : certificate option;
+          (** BFT decision certificate; [None] under the paper's protocols *)
+    }
   | Ack_msg of {
       txn : string;
       damage : damage_report list;
@@ -39,8 +90,13 @@ type payload =
           implied acknowledgment for any outcome the receiver was awaiting *)
   | Inquiry of { txn : string }
       (** PA subordinate-initiated recovery: "what happened to [txn]?" *)
-  | Inquiry_reply of { txn : string; outcome : Types.outcome option }
-      (** [None] = no information (PA: presume abort) *)
+  | Inquiry_reply of {
+      txn : string;
+      outcome : Types.outcome option;
+          (** [None] = no information (PA: presume abort) *)
+      cert : certificate option;
+          (** certificate backing a [Some] outcome under BFT *)
+    }
 
 val payload_txn : payload -> string
 (** The transaction a payload belongs to. *)

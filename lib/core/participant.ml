@@ -124,6 +124,16 @@ type t = {
       (* payloads refused by the protocol's admissibility check (forgeries
          an honest node can detect); survives restarts - the counter models
          the operator's tally, not volatile state *)
+  mutable rejected_certs : int;
+      (* the subset of refusals that were certificate-rule violations
+         (uncertified/mis-certified decisions, bad vote signatures, invalid
+         durable certificates found at restart); survives restarts like
+         [rejected] *)
+  certs : (string, Msg.certificate) Hashtbl.t;
+      (* per-txn decision certificate under a certified protocol: built at
+         the decision maker ([p_certify]), learned from admissible
+         certified payloads elsewhere; volatile - restart re-validates and
+         restores from the WAL's [Certificate] records *)
   mutable damage_seen : (string * Msg.damage_report) list;
       (* heuristic-damage reports that reached this node's operator, as
          (txn, report); populated where the protocol says reports stop
@@ -163,6 +173,8 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     idle_children = Hashtbl.create 4;
     deferred = [];
     rejected = 0;
+    rejected_certs = 0;
+    certs = Hashtbl.create 4;
     damage_seen = [];
   }
 
@@ -335,13 +347,13 @@ let tm_force t ~txn kind k =
         end)
   end
 
-let tm_append t ~txn kind =
+let tm_append ?payload t ~txn kind =
   mark_logged t ~txn;
   trace t
     (Trace.Log_write { time = now t; node = t.name; kind; forced = false; rm = false });
   causal_record t ~txn (fun () ->
       "log append " ^ Wal.Log_record.kind_to_string kind);
-  Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.name kind)
+  Wal.Log.append t.log (Wal.Log_record.make ~txn ~node:t.name ?payload kind)
 
 (* Force a protocol-prescribed record sequence in order, then continue:
    how [p_voter_log] and [p_delegation_log] reach the disk. *)
@@ -349,6 +361,46 @@ let rec force_records t ~txn records k =
   match records with
   | [] -> k ()
   | kind :: rest -> tm_force t ~txn kind (fun () -> force_records t ~txn rest k)
+
+(* ------------------------------------------------------------------ *)
+(* Decision certificates (certified protocols only)                    *)
+(* ------------------------------------------------------------------ *)
+
+let cert_for t txn = Hashtbl.find_opt t.certs txn
+
+(* First sight of a certificate for [txn]: cache it and append it to the
+   WAL so the next force hardens certificate and outcome together.  Only
+   certified payloads that passed admissibility reach here; under the
+   paper's protocols no certificate ever arrives and this is a no-op. *)
+let note_cert t ~txn cert =
+  match cert with
+  | Some c when not (Hashtbl.mem t.certs txn) ->
+      Hashtbl.replace t.certs txn c;
+      tm_append t ~txn ~payload:(Msg.cert_to_string c)
+        Wal.Log_record.Certificate
+  | _ -> ()
+
+let note_payload_cert t (payload : Msg.payload) =
+  match payload with
+  | Msg.Decision_msg { txn; cert; _ } | Msg.Inquiry_reply { txn; cert; _ } ->
+      note_cert t ~txn cert
+  | _ -> ()
+
+(* Canonical digest of the vote set a decision was taken over: what the
+   replica ensemble endorses, and what ties every endorsement in one
+   certificate to the same evidence. *)
+let votes_digest t st =
+  let vs =
+    (t.name, st.local_vote)
+    :: List.map (fun ch -> (ch.ch_profile.p_name, ch.ch_vote)) st.children
+  in
+  Msg.digest
+    (String.concat ";"
+       (List.map
+          (fun (n, v) ->
+            n ^ "="
+            ^ match v with Some v -> Types.vote_to_string v | None -> "-")
+          (List.sort compare vs)))
 
 (* ------------------------------------------------------------------ *)
 (* Crash injection                                                     *)
@@ -362,6 +414,9 @@ let rec crash t =
   Wal.Log.crash t.log;
   Kvstore.crash t.kv;
   Hashtbl.reset t.txns;
+  (* the in-memory certificate cache dies with the node; restart rebuilds
+     it from the durable [Certificate] records, re-validating each *)
+  Hashtbl.reset t.certs;
   (* suspension is conversation state: the sessions died with us, so the
      conservative post-crash behaviour is to re-engage everyone *)
   Hashtbl.reset t.suspended_children;
@@ -403,6 +458,37 @@ and ops_of t =
               trace t (Trace.Note { time = now t; node = t.name; text }));
           op_crash_at = (fun point -> maybe_crash t point);
           op_now = (fun () -> now t);
+          op_after = (fun ~delay f -> sched_ t ~delay f);
+          op_charge =
+            (fun ~flows ~forces ->
+              (* Synthetic cost for protocol machinery the simulation does
+                 not model as separate nodes (the BFT replica ensemble).
+                 The pseudo-endpoint name is not a registered node, so the
+                 sequence diagram skips these arrows while the flow and
+                 forced-write counters (and so Tables 2-4) see them. *)
+              let replica = t.name ^ "!replica" in
+              for _ = 1 to flows do
+                trace t
+                  (Trace.Send
+                     {
+                       time = now t;
+                       src = t.name;
+                       dst = replica;
+                       label = "replica-quorum";
+                       protocol = true;
+                     })
+              done;
+              for _ = 1 to forces do
+                trace t
+                  (Trace.Log_write
+                     {
+                       time = now t;
+                       node = replica;
+                       kind = Wal.Log_record.Certificate;
+                       forced = true;
+                       rm = false;
+                     })
+              done);
         }
       in
       t.ops <- Some o;
@@ -672,6 +758,7 @@ and vote_up_read_only t st =
           delegation = false;
           unsolicited = false;
           implied_ack = false;
+          tag = Msg.vote_tag ~src:t.name ~txn:st.txn Vote_read_only;
         };
     ];
   end_txn t st Committed
@@ -697,6 +784,7 @@ and on_voted_no t st =
               delegation = false;
               unsolicited = false;
               implied_ack = false;
+              tag = Msg.vote_tag ~src:t.name ~txn:st.txn Vote_no;
             };
         ]
   | None -> ());
@@ -755,15 +843,17 @@ and delegate_to_last_agent t st agent =
            st.children
     in
     let send_delegation () =
+      let vote = Vote_yes { reliable; leave_out_ok = false } in
       send t ~dst:agent.ch_profile.p_name
         [
           Msg.Vote_msg
             {
               txn = st.txn;
-              vote = Vote_yes { reliable; leave_out_ok = false };
+              vote;
               delegation = true;
               unsolicited = false;
               implied_ack = false;
+              tag = Msg.vote_tag ~src:t.name ~txn:st.txn vote;
             };
         ]
     in
@@ -811,15 +901,17 @@ and vote_yes_up t st parent =
       set_phase t st Ph_in_doubt;
       st.sent_vote_reliable <- elide_ack;
       st.sent_vote <- Some (Vote_yes { reliable; leave_out_ok });
+      let vote = Vote_yes { reliable; leave_out_ok } in
       send t ~dst:parent
         [
           Msg.Vote_msg
             {
               txn = st.txn;
-              vote = Vote_yes { reliable; leave_out_ok };
+              vote;
               delegation = false;
               unsolicited = false;
               implied_ack = elide_ack;
+              tag = Msg.vote_tag ~src:t.name ~txn:st.txn vote;
             };
         ];
       if maybe_crash t Cp_after_vote then ()
@@ -852,17 +944,19 @@ and begin_unsolicited t ~txn =
               st.local_vote <-
                 Some (Vote_yes { reliable = t.profile.p_reliable; leave_out_ok = false });
               st.sent_vote <- st.local_vote;
+              let vote =
+                Vote_yes { reliable = t.profile.p_reliable; leave_out_ok = false }
+              in
               send t ~dst:parent
                 [
                   Msg.Vote_msg
                     {
                       txn;
-                      vote =
-                        Vote_yes
-                          { reliable = t.profile.p_reliable; leave_out_ok = false };
+                      vote;
                       delegation = false;
                       unsolicited = true;
                       implied_ack = elide_ack;
+                      tag = Msg.vote_tag ~src:t.name ~txn vote;
                     };
                 ];
               start_heuristic_timer t st;
@@ -880,20 +974,36 @@ and decide t st outcome =
       "decides " ^ outcome_to_string outcome);
   if maybe_crash t Cp_before_decision_log then ()
   else
-    match t.proto.p_decision_log outcome with
-    | Protocol_intf.Log_force kind ->
-        tm_force t ~txn:st.txn kind (fun () ->
-            st.decision_durable <- true;
-            if not (maybe_crash t Cp_after_decision_log) then
-              after_decision_durable t st)
-    | Protocol_intf.Log_append kind ->
-        tm_append t ~txn:st.txn kind;
-        st.decision_durable <- true;
-        after_decision_durable t st
-    | Protocol_intf.Log_none ->
-        (* nothing durable: the presumption carries the outcome (PA abort) *)
-        st.decision_durable <- true;
-        after_decision_durable t st
+    let log_decision () =
+      match t.proto.p_decision_log outcome with
+      | Protocol_intf.Log_force kind ->
+          tm_force t ~txn:st.txn kind (fun () ->
+              st.decision_durable <- true;
+              if not (maybe_crash t Cp_after_decision_log) then
+                after_decision_durable t st)
+      | Protocol_intf.Log_append kind ->
+          tm_append t ~txn:st.txn kind;
+          st.decision_durable <- true;
+          after_decision_durable t st
+      | Protocol_intf.Log_none ->
+          (* nothing durable: the presumption carries the outcome (PA abort) *)
+          st.decision_durable <- true;
+          after_decision_durable t st
+    in
+    match t.proto.p_certify with
+    | Some certify when not (Hashtbl.mem t.certs st.txn) ->
+        (* certified protocol: gather the endorsement quorum first, append
+           the certificate, then log the outcome - the outcome force
+           hardens both, so no one ever sees a certificate whose decision
+           is not durable *)
+        certify (ops_of t) ~cfg:t.cfg ~txn:st.txn ~outcome
+          ~votes:(votes_digest t st)
+          ~k:(fun cert ->
+            Hashtbl.replace t.certs st.txn cert;
+            tm_append t ~txn:st.txn ~payload:(Msg.cert_to_string cert)
+              Wal.Log_record.Certificate;
+            log_decision ())
+    | _ -> log_decision ()
 
 and after_decision_durable t st =
   let outcome = Option.get st.outcome in
@@ -903,7 +1013,11 @@ and after_decision_durable t st =
       (* a last agent reports the decision back to its delegator *)
       (match st.delegator with
       | Some up ->
-          send t ~dst:up [ Msg.Decision_msg { txn = st.txn; outcome } ];
+          send t ~dst:up
+            [
+              Msg.Decision_msg
+                { txn = st.txn; outcome; cert = cert_for t st.txn };
+            ];
           st.awaiting_implied_ack <- true
       | None -> ());
       maybe_finished t st)
@@ -953,7 +1067,7 @@ and propagate_decision t st outcome =
   List.iter
     (fun ch ->
       send t ~dst:ch.ch_profile.p_name
-        [ Msg.Decision_msg { txn = st.txn; outcome } ];
+        [ Msg.Decision_msg { txn = st.txn; outcome; cert = cert_for t st.txn } ];
       (match Option.get st.outcome with
       | Committed ->
           if ack_expected_from t ch then start_ack_retry t st ch
@@ -1014,7 +1128,14 @@ and retry_child t st ch =
       causal_record t ~txn:st.txn ~seg:Obs.Causal.In_doubt (fun () ->
           "ack overdue: retransmitting decision to " ^ ch.ch_profile.p_name);
       send t ~dst:ch.ch_profile.p_name
-        [ Msg.Decision_msg { txn = st.txn; outcome = Option.get st.outcome } ];
+        [
+          Msg.Decision_msg
+            {
+              txn = st.txn;
+              outcome = Option.get st.outcome;
+              cert = cert_for t st.txn;
+            };
+        ];
       start_ack_retry t st ch
     end
     else if ch.ch_presumed_no && not ch.ch_pending then begin
@@ -1302,6 +1423,7 @@ and handle_prepare t ~src ~txn ~long_locks =
             delegation = false;
             unsolicited = false;
             implied_ack = false;
+            tag = Msg.vote_tag ~src:t.name ~txn Vote_no;
           };
       ]
   else begin
@@ -1356,6 +1478,7 @@ and handle_prepare t ~src ~txn ~long_locks =
             delegation = false;
             unsolicited = false;
             implied_ack = false;
+            tag = Msg.vote_tag ~src:t.name ~txn Vote_no;
           };
         ];
       if st.phase = Ph_voting then begin
@@ -1377,6 +1500,7 @@ and handle_prepare t ~src ~txn ~long_locks =
                   delegation = false;
                   unsolicited = false;
                   implied_ack = st.sent_vote_reliable;
+                  tag = Msg.vote_tag ~src:t.name ~txn vote;
                 };
             ]
       | None -> ()
@@ -1429,7 +1553,14 @@ and handle_delegation t ~src ~txn vote =
       if Hashtbl.mem t.ended txn then
         (* duplicate delegation: repeat the outcome *)
         send t ~dst:src
-          [ Msg.Decision_msg { txn; outcome = Hashtbl.find t.ended txn } ]
+          [
+            Msg.Decision_msg
+              {
+                txn;
+                outcome = Hashtbl.find t.ended txn;
+                cert = cert_for t txn;
+              };
+          ]
       else begin
         let st = get_or_new_txn t txn in
         if st.phase = Ph_idle then begin
@@ -1555,7 +1686,11 @@ and delegator_apply t st outcome =
       | Some up ->
           (* we were a last agent ourselves: pass the outcome up the
              delegation chain *)
-          send t ~dst:up [ Msg.Decision_msg { txn = st.txn; outcome } ];
+          send t ~dst:up
+            [
+              Msg.Decision_msg
+                { txn = st.txn; outcome; cert = cert_for t st.txn };
+            ];
           st.awaiting_implied_ack <- true
       | None -> ());
       maybe_finished t st)
@@ -1624,7 +1759,11 @@ and handle_data t ~src ~txn ~info =
 
 and handle_inquiry t ~src ~txn =
   let reply outcome =
-    send t ~dst:src [ Msg.Inquiry_reply { txn; outcome } ]
+    (* a positive answer under a certified protocol carries its proof *)
+    let cert =
+      match outcome with Some _ -> cert_for t txn | None -> None
+    in
+    send t ~dst:src [ Msg.Inquiry_reply { txn; outcome; cert } ]
   in
   match get_txn t txn with
   | Some st -> (
@@ -1688,13 +1827,13 @@ and handle_inquiry_reply t ~txn outcome =
 
 and handle_payload t ~src = function
   | Msg.Prepare { txn; long_locks } -> handle_prepare t ~src ~txn ~long_locks
-  | Msg.Vote_msg { txn; vote; delegation; unsolicited; implied_ack } ->
+  | Msg.Vote_msg { txn; vote; delegation; unsolicited; implied_ack; _ } ->
       handle_vote t ~src ~txn vote ~delegation ~unsolicited ~implied_ack
-  | Msg.Decision_msg { txn; outcome } -> handle_decision t ~src ~txn outcome
+  | Msg.Decision_msg { txn; outcome; _ } -> handle_decision t ~src ~txn outcome
   | Msg.Ack_msg { txn; damage; pending } -> handle_ack t ~src ~txn ~damage ~pending
   | Msg.Data { txn; info } -> handle_data t ~src ~txn ~info
   | Msg.Inquiry { txn } -> handle_inquiry t ~src ~txn
-  | Msg.Inquiry_reply { txn; outcome } -> handle_inquiry_reply t ~txn outcome
+  | Msg.Inquiry_reply { txn; outcome; _ } -> handle_inquiry_reply t ~txn outcome
 
 (* The honest-node defense: before acting on a payload, ask the protocol
    whether an honest peer could have sent it, given who [src] is in our
@@ -1718,7 +1857,7 @@ and admissible t ~src payload =
         | Some st when st.decision_durable -> st.outcome
         | _ -> None)
   in
-  t.proto.p_admissible ~src ~role ~known payload
+  t.proto.p_admissible ~cfg:t.cfg ~src ~role ~known payload
 
 and handler t ~src payloads =
   if not t.crashed then begin
@@ -1738,9 +1877,13 @@ and handler t ~src payloads =
     List.iter
       (fun payload ->
         match admissible t ~src payload with
-        | None -> handle_payload t ~src payload
+        | None ->
+            note_payload_cert t payload;
+            handle_payload t ~src payload
         | Some reason ->
             t.rejected <- t.rejected + 1;
+            if String.length reason >= 5 && String.sub reason 0 5 = "cert:"
+            then t.rejected_certs <- t.rejected_certs + 1;
             trace t (Trace.Note { time = now t; node = t.name; text = reason }))
       payloads
   end
@@ -1767,6 +1910,40 @@ and restart t =
       let l = try Hashtbl.find by_txn r.txn with Not_found -> [] in
       Hashtbl.replace by_txn r.txn (r.kind :: l))
     mine;
+  (* Under a certified protocol, re-validate every durable decision
+     certificate before trusting it again: a record that does not parse or
+     whose endorsement quorum no longer checks out is refused (counted like
+     a certificate-violating message), so recovery re-drives decisions only
+     with proof in hand.  This runs before [recover_txn] so re-driven
+     decisions carry their certificates. *)
+  if t.proto.p_certify <> None then
+    List.iter
+      (fun (r : Wal.Log_record.t) ->
+        if r.kind = Wal.Log_record.Certificate then
+          let valid =
+            match Msg.cert_of_string r.payload with
+            | Some ({ Msg.c_endorsements = e :: _ } as c)
+              when Msg.certificate_valid ~f:(max 0 t.cfg.bft_f) ~txn:r.txn
+                     ~outcome:e.Msg.e_outcome c ->
+                Hashtbl.replace t.certs r.txn c;
+                true
+            | _ -> false
+          in
+          if not valid then begin
+            t.rejected_certs <- t.rejected_certs + 1;
+            trace t
+              (Trace.Note
+                 {
+                   time = now t;
+                   node = t.name;
+                   text =
+                     Printf.sprintf
+                       "cert: recovery refuses invalid durable certificate \
+                        for %s"
+                       r.txn;
+                 })
+          end)
+      mine;
   Hashtbl.iter (fun txn kinds -> recover_txn t ~txn ~kinds) by_txn
 
 and recover_txn t ~txn ~kinds =
@@ -1973,5 +2150,6 @@ let force_heuristic t ~txn action =
     | _ -> ()
 
 let rejected_forgeries t = t.rejected
+let rejected_certs t = t.rejected_certs
 
 let damage_seen t = List.rev t.damage_seen

@@ -139,6 +139,13 @@ val rejected_forgeries : t -> int
     detect from topology and its own durable state.  Always zero in a
     benign run. *)
 
+val rejected_certs : t -> int
+(** The subset of refusals that violated certificate rules (an
+    admissibility reason starting with ["cert:"]: uncertified or
+    mis-certified decisions, vote-signature mismatches), plus durable
+    certificates that failed re-validation at restart.  Always zero under
+    the paper's uncertified protocols. *)
+
 val damage_seen : t -> (string * Msg.damage_report) list
 (** Heuristic-damage reports that reached this node's operator, oldest
     first, as [(txn, report)] pairs.  The damaged member itself records the

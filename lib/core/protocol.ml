@@ -29,11 +29,17 @@ let register p =
 let find name = Hashtbl.find_opt table (String.lowercase_ascii name)
 let all () = !order
 
-(* The paper's three families are always available: registering them here,
-   by direct reference, also guarantees the linker keeps their modules. *)
+(* The paper's three families and the BFT variant are always available:
+   registering them here, by direct reference, also guarantees the linker
+   keeps their modules. *)
 let () =
   List.iter register
-    [ Protocol_basic.protocol; Protocol_pa.protocol; Protocol_pn.protocol ]
+    [
+      Protocol_basic.protocol;
+      Protocol_pa.protocol;
+      Protocol_pn.protocol;
+      Protocol_bft.protocol;
+    ]
 
 let resolve proto =
   let name = Types.protocol_to_string proto in

@@ -31,6 +31,17 @@ type ops = {
       (** fire a configured crash fault at this point; [true] means the
           node just crashed and the hook must stop *)
   op_now : unit -> float;  (** virtual clock *)
+  op_after : delay:float -> (unit -> unit) -> unit;
+      (** run a continuation after [delay] virtual time units; cancelled
+          (never run) if the node crashes first - protocol hooks use this
+          to model rounds the simulated network does not carry, like the
+          BFT coordinator's endorsement round trip *)
+  op_charge : flows:int -> forces:int -> unit;
+      (** charge synthetic protocol cost to this node's trace: [flows]
+          message flows and [forces] forced log writes that happen on
+          hardware the simulation does not model as separate nodes (the
+          BFT replica ensemble).  Shows up in the paper-style flow/write
+          accounting so sweeps price the protocol honestly. *)
 }
 
 (** How a decision reaches the log at one role. *)
@@ -101,6 +112,7 @@ type t = {
       (** restart-time policy over the TM record kinds found for one txn *)
   (* --- adversary hardening ----------------------------------------- *)
   p_admissible :
+    cfg:config ->
     src:string ->
     role:sender_role ->
     known:outcome option ->
@@ -108,12 +120,31 @@ type t = {
     string option;
       (** Validation an honest node runs on every delivered payload before
           acting on it: [None] admits the payload, [Some reason] rejects it
-          (the plumbing counts the rejection and traces [reason]).  [known]
-          is this node's durable outcome for the payload's transaction, if
-          any.  The checks are protocol-level because what counts as a
-          protocol-violating message differs per family (PN subordinates
-          never inquire); they must never reject anything a benign run can
-          deliver.  See {!standard_admissible}. *)
+          (the plumbing counts the rejection and traces [reason]; a reason
+          starting with ["cert:"] is additionally counted as a certificate
+          refusal).  [known] is this node's durable outcome for the
+          payload's transaction, if any.  The checks are protocol-level
+          because what counts as a protocol-violating message differs per
+          family (PN subordinates never inquire); they must never reject
+          anything a benign run can deliver.  See {!standard_admissible}. *)
+  p_certify :
+    (ops ->
+    cfg:config ->
+    txn:string ->
+    outcome:outcome ->
+    votes:string ->
+    k:(Msg.certificate -> unit) ->
+    unit)
+    option;
+      (** [Some] makes this a certified-decision protocol: called at the
+          decision maker after the outcome is chosen but before it is
+          logged or propagated; the hook gathers its endorsement quorum
+          (charging cost and latency through [ops]) and passes the
+          certificate to [k].  The plumbing then logs the certificate
+          next to the outcome, attaches it to every outgoing
+          [Decision_msg] and [Inquiry_reply], and restores it from the
+          WAL at restart.  [None] (all paper protocols) skips the whole
+          machinery. *)
 }
 
 (** Send an {!Msg.Inquiry} for [txn] to every target: the subordinate-

@@ -27,6 +27,13 @@ type ops = {
       (** fire a configured crash fault at this point; [true] means the
           node just crashed and the hook must stop *)
   op_now : unit -> float;  (** virtual clock *)
+  op_after : delay:float -> (unit -> unit) -> unit;
+      (** run a continuation after [delay] virtual time units; cancelled
+          (never run) if the node crashes first *)
+  op_charge : flows:int -> forces:int -> unit;
+      (** charge synthetic protocol cost (message flows / forced writes
+          happening on unmodelled hardware, e.g. the BFT replica ensemble)
+          to this node's trace counters *)
 }
 
 (** How a decision reaches the log at one role. *)
@@ -93,6 +100,7 @@ type t = {
   p_recover : Wal.Log_record.kind list -> recovery_action;
       (** restart-time policy over the TM record kinds found for one txn *)
   p_admissible :
+    cfg:Types.config ->
     src:string ->
     role:sender_role ->
     known:Types.outcome option ->
@@ -101,15 +109,36 @@ type t = {
       (** Validation an honest node runs on every delivered payload before
           acting on it: [None] admits the payload, [Some reason] rejects it
           (the plumbing counts the rejection toward
-          {!Participant.rejected_forgeries} and traces [reason]).  [known]
-          is the receiver's durable outcome for the payload's transaction,
-          if any.  The checks live in the protocol, not the network,
-          because what counts as a protocol-violating message differs per
-          family (PN subordinates never inquire, so PN rejects every
-          Inquiry); implementations must never reject anything a benign
-          run can deliver — dual commit initiation (Figure 5) makes
+          {!Participant.rejected_forgeries} and traces [reason]; a reason
+          starting with ["cert:"] is additionally counted toward
+          {!Participant.rejected_certs}).  [known] is the receiver's
+          durable outcome for the payload's transaction, if any.  [cfg] is
+          the run configuration (the BFT check needs its [bft_f]).  The
+          checks live in the protocol, not the network, because what
+          counts as a protocol-violating message differs per family (PN
+          subordinates never inquire, so PN rejects every Inquiry);
+          implementations must never reject anything a benign run can
+          deliver — dual commit initiation (Figure 5) makes
           Prepare-from-a-stranger legal, for example.  Start from
           {!standard_admissible}. *)
+  p_certify :
+    (ops ->
+    cfg:Types.config ->
+    txn:string ->
+    outcome:Types.outcome ->
+    votes:string ->
+    k:(Msg.certificate -> unit) ->
+    unit)
+    option;
+      (** [Some] makes this a certified-decision protocol (see
+          {!Protocol_bft}): called at the decision maker after the outcome
+          is chosen but before it is logged or propagated; the hook
+          gathers its endorsement quorum (charging quorum cost and latency
+          through [ops]) and passes the certificate to [k].  The plumbing
+          logs the certificate next to the outcome, attaches it to every
+          outgoing [Decision_msg]/[Inquiry_reply], and restores and
+          re-validates it from the WAL at restart.  [None] for all the
+          paper's protocols. *)
 }
 
 val send_inquiries : ops -> txn:string -> targets:string list -> unit

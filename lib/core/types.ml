@@ -144,6 +144,10 @@ type config = {
       (** keep the full event timeline in the trace; [false] maintains
           only the aggregate counters (high-volume sweeps with no
           timeline consumer) *)
+  bft_f : int;
+      (** fault tolerance of the BFT commit variant: the coordinator is
+          replicated 2f+1 ways and decisions need f+1 matching
+          endorsements; ignored by every other protocol *)
 }
 
 let default_config =
@@ -163,6 +167,7 @@ let default_config =
     retry_backoff = 1.0;
     implied_ack_delay = 2.0;
     trace_events = true;
+    bft_f = 1;
   }
 
 (** {2 List-based options API}
@@ -270,6 +275,7 @@ let with_prepare_retries prepare_retries cfg = { cfg with prepare_retries }
 let with_retry_backoff retry_backoff cfg = { cfg with retry_backoff }
 
 let with_implied_ack_delay implied_ack_delay cfg = { cfg with implied_ack_delay }
+let with_bft_f bft_f cfg = { cfg with bft_f }
 
 let protocol_to_string = function
   | Basic -> "basic-2pc"

@@ -169,6 +169,10 @@ type config = {
       (** keep the full event timeline in the trace ([true] by default);
           [false] maintains only the O(1) aggregate counters — the mode
           for high-volume sweeps where nothing reads the timeline *)
+  bft_f : int;
+      (** fault tolerance of the BFT commit variant ([1] by default): the
+          coordinator is replicated 2f+1 ways and decisions need f+1
+          matching endorsements; ignored by every other protocol *)
 }
 
 val default_config : config
@@ -187,6 +191,7 @@ val with_retries : interval:float -> max:int -> config -> config
 val with_prepare_retries : int -> config -> config
 val with_retry_backoff : float -> config -> config
 val with_implied_ack_delay : float -> config -> config
+val with_bft_f : int -> config -> config
 
 val protocol_to_string : protocol -> string
 val outcome_to_string : outcome -> string

@@ -156,6 +156,8 @@ type chaos_cell = {
   cc_repro : string option;
   cc_stats : Simkernel.Engine.stats;
   cc_accounting : Faultlab.accounting option;
+  cc_cert_refusals : int;
+  cc_corrupted : int;
 }
 
 let chaos_cells ?progress ~jobs p =
@@ -170,6 +172,21 @@ let chaos_cells ?progress ~jobs p =
     match p.ch_plan with
     | Some plan -> Faultlab.is_adversarial plan
     | None -> false
+  in
+  (* Under a certified protocol the adversarial tolerance is conditional:
+     atomicity violations are "the measurement" only above the quorum
+     threshold.  With at most [f] corrupted replicas the certificate rule
+     guarantees atomicity outright, so any violation there is a failed
+     guarantee, not a data point. *)
+  let certified =
+    (Tpc.Protocol.resolve config.Tpc.Types.protocol).Tpc.Protocol.p_certify
+    <> None
+  in
+  let bft_f = max 0 config.Tpc.Types.bft_f in
+  let bft_gate plan (acc : Faultlab.accounting) =
+    certified
+    && Faultlab.corrupted_replicas plan <= bft_f
+    && acc.Faultlab.a_atomicity > 0
   in
   let one seed () =
     let cfg = { p.ch_mixer with Tpc.Mixer.seed } in
@@ -194,8 +211,16 @@ let chaos_cells ?progress ~jobs p =
     in
     let violated =
       match acc_opt with
-      | Some acc -> not (Faultlab.adversarial_ok v acc)
+      | Some acc -> (not (Faultlab.adversarial_ok v acc)) || bft_gate plan acc
       | None -> not (Faultlab.ok v)
+    in
+    let cert_refusals =
+      if certified then
+        List.fold_left
+          (fun n node ->
+            n + Tpc.Participant.rejected_certs (Tpc.Run.participant w node))
+          0 nodes
+      else 0
     in
     let minimized =
       if violated && p.ch_shrink then begin
@@ -205,7 +230,7 @@ let chaos_cells ?progress ~jobs p =
               Faultlab.run_case_adversarial ~config
                 ~broken_recovery:p.ch_broken cfg p.ch_tree candidate
             in
-            not (Faultlab.adversarial_ok v' acc')
+            (not (Faultlab.adversarial_ok v' acc')) || bft_gate candidate acc'
           else
             let _, v' =
               Faultlab.run_case ~config ~broken_recovery:p.ch_broken cfg
@@ -224,11 +249,12 @@ let chaos_cells ?progress ~jobs p =
             "tpc_sim chaos: seed %d VIOLATION; minimized to %d event(s); \
              replay with:\n\
             \  tpc_sim chaos --protocol %s -n %d --seed %d --seeds 1 --txns \
-             %d -c %d%s%s --plan '%s'\n"
+             %d -c %d%s%s%s --plan '%s'\n"
             seed (List.length small) p.ch_protocol_flag p.ch_n seed
             cfg.Tpc.Mixer.txns cfg.Tpc.Mixer.concurrency
             (if p.ch_broken then " --broken-recovery" else "")
             (if adversary then " --adversary" else "")
+            (if certified then Printf.sprintf " --f %d" bft_f else "")
             (Faultlab.to_string small))
         minimized
     in
@@ -251,6 +277,14 @@ let chaos_cells ?progress ~jobs p =
                 (fun (k, c) -> (k, Tpc.Json.Int c))
                 (Faultlab.accounting_fields acc)
           | None -> [])
+        @ (if certified then
+             [
+               ("f", Tpc.Json.Int bft_f);
+               ( "corrupted_replicas",
+                 Tpc.Json.Int (Faultlab.corrupted_replicas plan) );
+               ("cert_refusals", Tpc.Json.Int cert_refusals);
+             ]
+           else [])
         @ (if p.ch_blocking then
              [ ("blocking", Faultlab.blocking_json w.Tpc.Run.registry) ]
            else [])
@@ -268,6 +302,8 @@ let chaos_cells ?progress ~jobs p =
         cc_repro = repro;
         cc_stats = Simkernel.Engine.stats w.Tpc.Run.engine;
         cc_accounting = acc_opt;
+        cc_cert_refusals = cert_refusals;
+        cc_corrupted = Faultlab.corrupted_replicas plan;
       }
     in
     ((cell, w.Tpc.Run.registry), Printf.sprintf "seed %d" seed)

@@ -91,6 +91,14 @@ type chaos_cell = {
   cc_accounting : Faultlab.accounting option;
       (** the damage classification, in adversary mode only - the CLI
           folds these into the per-protocol verdict matrix *)
+  cc_cert_refusals : int;
+      (** decisions refused for certificate violations across the seed's
+          nodes ({!Tpc.Participant.rejected_certs} summed); 0 under
+          uncertified protocols *)
+  cc_corrupted : int;
+      (** distinct coordinator replicas the seed's plan corrupted - the
+          adversary budget the sub-threshold guarantee is conditioned
+          on *)
 }
 
 val chaos_cells :

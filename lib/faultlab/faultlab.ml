@@ -19,14 +19,31 @@ type event =
   | Flip_vote of { at : float; src : string; dst : string; nth : int }
   | Forge of { at : float; src : string; dst : string; kind : forge_kind }
   | Force_heuristic of { at : float; node : string; action : Tpc.Types.outcome }
+  | Replay of { at : float; src : string; dst : string; count : int }
+  (* corrupt one coordinator replica of the BFT ensemble: from [at] on, the
+     adversary holds that replica's signing key.  Only with f+1 distinct
+     corrupted replicas can it mint a valid decision certificate. *)
+  | Corrupt_replica of { at : float; replica : int }
 
 type plan = event list
 
 let is_adversarial_event = function
-  | Equivocate _ | Flip_vote _ | Forge _ | Force_heuristic _ -> true
+  | Equivocate _ | Flip_vote _ | Forge _ | Force_heuristic _ | Replay _
+  | Corrupt_replica _ ->
+      true
   | Crash _ | Partition _ | Drop _ | Jitter _ -> false
 
 let is_adversarial plan = List.exists is_adversarial_event plan
+
+(* Distinct BFT coordinator replicas this plan corrupts: the [f]-threshold
+   comparison the chaos gate runs ("corrupted <= f implies zero atomicity
+   violations") is against this static count. *)
+let corrupted_replicas plan =
+  List.length
+    (List.sort_uniq compare
+       (List.filter_map
+          (function Corrupt_replica { replica; _ } -> Some replica | _ -> None)
+          plan))
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
@@ -65,6 +82,10 @@ let event_to_string = function
         (forge_kind_to_string kind)
   | Force_heuristic { at; node; action } ->
       Printf.sprintf "heur@%s:%s:%s" (fl at) node (action_to_string action)
+  | Replay { at; src; dst; count } ->
+      Printf.sprintf "replay@%s:%s>%s:%d" (fl at) src dst count
+  | Corrupt_replica { at; replica } ->
+      Printf.sprintf "corrupt@%s:%d:-" (fl at) replica
 
 let to_string plan = String.concat "," (List.map event_to_string plan)
 
@@ -135,6 +156,20 @@ let parse_event tok =
             | _ -> bad tok
           in
           Force_heuristic { at; node = spec; action }
+      | "replay" ->
+          let src, dst = split2 '>' spec tok in
+          let count = match int_of_string_opt arg with
+            | Some n when n >= 1 -> n
+            | _ -> bad tok
+          in
+          Replay { at; src; dst; count }
+      | "corrupt" ->
+          if arg <> "-" then bad tok;
+          let replica = match int_of_string_opt spec with
+            | Some n when n >= 0 -> n
+            | _ -> bad tok
+          in
+          Corrupt_replica { at; replica }
       | _ -> bad tok)
   | _ -> bad tok
 
@@ -163,6 +198,17 @@ type gen_cfg = {
   vote_flips : int;
   forgeries : int;
   forced_heuristics : int;
+  (* the second adversarial generation wave, drawn strictly after the
+     first so plans generated with these at zero/None stay byte-identical
+     to earlier faultlab for the same seed *)
+  replays : int;
+  corruptions : int;  (* distinct BFT replicas to corrupt, capped at domain *)
+  corrupt_domain : int;  (* replica index space: 2f+1 for the target f *)
+  gc_align : float option;
+      (* targeted schedule: snap every adversarial event time to the
+         nearest multiple of this group-commit flush window, so faults
+         land exactly at the batched-force boundary.  Pure post-draw
+         retiming - zero RNG draws consumed *)
 }
 
 let default_gen =
@@ -180,6 +226,10 @@ let default_gen =
     vote_flips = 0;
     forgeries = 0;
     forced_heuristics = 0;
+    replays = 0;
+    corruptions = 0;
+    corrupt_domain = 3;
+    gc_align = None;
   }
 
 let norm x = Float.round (x *. 1000.0) /. 1000.0
@@ -187,7 +237,7 @@ let norm x = Float.round (x *. 1000.0) /. 1000.0
 let event_time = function
   | Crash { at; _ } | Partition { at; _ } | Drop { at; _ } | Jitter { at; _ }
   | Equivocate { at; _ } | Flip_vote { at; _ } | Forge { at; _ }
-  | Force_heuristic { at; _ } ->
+  | Force_heuristic { at; _ } | Replay { at; _ } | Corrupt_replica { at; _ } ->
       at
 
 let sort_plan plan =
@@ -275,7 +325,49 @@ let gen ~seed ~nodes cfg =
     in
     push (Force_heuristic { at = at (); node = pick (); action })
   done;
-  sort_plan !evs
+  (* second adversarial wave: replays, then replica corruptions - again
+     strictly after every earlier draw, so PR7-era adversarial plans stay
+     byte-identical for the same seed when these counts are zero *)
+  if Array.length arr >= 2 then
+    for _ = 1 to cfg.replays do
+      let src, dst = pick_pair () in
+      push (Replay { at = at (); src; dst; count = 1 + Simkernel.Det_rng.int rng 2 })
+    done;
+  let domain = max 1 cfg.corrupt_domain in
+  let chosen : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  for _ = 1 to min cfg.corruptions domain do
+    let when_ = at () in
+    let rec fresh () =
+      let r = Simkernel.Det_rng.int rng domain in
+      if Hashtbl.mem chosen r then fresh () else r
+    in
+    let r = fresh () in
+    Hashtbl.replace chosen r ();
+    push (Corrupt_replica { at = when_; replica = r })
+  done;
+  (* targeted scheduling: retime adversarial events onto the group-commit
+     flush boundary.  Post-draw, so alignment never perturbs the RNG
+     stream; benign events keep their natural times. *)
+  let aligned =
+    match cfg.gc_align with
+    | Some w when w > 0.0 ->
+        let snap at = norm (Float.max w (Float.round (at /. w) *. w)) in
+        List.map
+          (fun e ->
+            if not (is_adversarial_event e) then e
+            else
+              match e with
+              | Equivocate r -> Equivocate { r with at = snap r.at }
+              | Flip_vote r -> Flip_vote { r with at = snap r.at }
+              | Forge r -> Forge { r with at = snap r.at }
+              | Force_heuristic r -> Force_heuristic { r with at = snap r.at }
+              | Replay r -> Replay { r with at = snap r.at }
+              | Corrupt_replica r -> Corrupt_replica { r with at = snap r.at }
+              | Crash _ | Partition _ | Drop _ | Jitter _ -> e)
+          !evs
+    | _ -> !evs
+  in
+  sort_plan aligned
 
 let tree_nodes tree =
   List.map (fun (p : Tpc.Types.profile) -> p.p_name) (Tpc.Types.tree_members tree)
@@ -320,46 +412,91 @@ let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
            | Some amp -> Simkernel.Det_rng.float jrng amp
            | None -> 0.0))
   end;
-  (* The Byzantine relay: one netsim mutator serves both equivocation
-     (flip the next [count] outcomes this node announces, so different
-     members hear different decisions) and in-flight vote flipping (the
-     [nth] vote on a link, counted like [drop_nth], turns YES into NO or
-     NO into YES).  Installed only when the plan needs it, so benign plans
-     leave the network untouched. *)
+  (* BFT replica corruption: the set of coordinator-replica signing keys
+     the adversary holds right now, filled in by [Corrupt_replica] events
+     as they fire.  Only with a full f+1 quorum of corrupted replicas can
+     it mint a certificate that validates - below that threshold every
+     forged or equivocated decision is uncertifiable and honest BFT
+     members refuse it. *)
+  let corrupted : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let f = max 0 w.Tpc.Run.cfg.Tpc.Types.bft_f in
+  let forged_cert ~txn ~outcome =
+    if Hashtbl.length corrupted < f + 1 then None
+    else
+      let replicas =
+        List.filteri
+          (fun i _ -> i <= f)
+          (List.sort compare
+             (Hashtbl.fold (fun r () acc -> r :: acc) corrupted []))
+      in
+      Some
+        {
+          Tpc.Msg.c_endorsements =
+            List.map
+              (fun replica ->
+                Tpc.Msg.endorse ~replica ~txn ~outcome ~votes:"forged")
+              replicas;
+        }
+  in
+  (* The Byzantine relay: one netsim mutator serves equivocation (flip the
+     next [count] outcomes this node announces, so different members hear
+     different decisions), in-flight vote flipping (the [nth] vote on a
+     link, counted like [drop_nth], turns YES into NO or NO into YES) and
+     the replay tap (remember the last bundle seen per link so [Replay]
+     can re-deliver genuine stale traffic).  Installed only when the plan
+     needs it, so benign plans leave the network untouched.  A flipped
+     vote keeps its stale signature tag and an equivocated decision keeps
+     its stale certificate unless the adversary can re-sign - exactly the
+     power a real Byzantine relay has. *)
   let equiv_left : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
   let votes_seen : (string * string, int ref) Hashtbl.t = Hashtbl.create 4 in
   let flip_targets : (string * string, int list ref) Hashtbl.t =
     Hashtbl.create 4
   in
+  let last_bundle : (string * string, Tpc.Msg.payload list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let wants_replay =
+    List.exists (function Replay _ -> true | _ -> false) plan
+  in
   if
     List.exists
-      (function Equivocate _ | Flip_vote _ -> true | _ -> false)
+      (function Equivocate _ | Flip_vote _ | Replay _ -> true | _ -> false)
       plan
   then
     Tpc.Net.set_mutator net
       (Some
          (fun ~src ~dst payloads ->
-           List.map
-             (fun (p : Tpc.Msg.payload) ->
-               match p with
-               | Tpc.Msg.Decision_msg { txn; outcome } -> (
-                   match Hashtbl.find_opt equiv_left src with
-                   | Some n when !n > 0 ->
-                       decr n;
-                       Tpc.Msg.Decision_msg
-                         { txn; outcome = flip_outcome outcome }
-                   | _ -> p)
-               | Tpc.Msg.Vote_msg v ->
-                   let seen = cell votes_seen (src, dst) 0 in
-                   incr seen;
-                   let targets = cell flip_targets (src, dst) [] in
-                   if List.mem !seen !targets then begin
-                     targets := List.filter (fun n -> n <> !seen) !targets;
-                     Tpc.Msg.Vote_msg { v with vote = flip_vote v.vote }
-                   end
-                   else p
-               | _ -> p)
-             payloads))
+           let out =
+             List.map
+               (fun (p : Tpc.Msg.payload) ->
+                 match p with
+                 | Tpc.Msg.Decision_msg { txn; outcome; cert } -> (
+                     match Hashtbl.find_opt equiv_left src with
+                     | Some n when !n > 0 ->
+                         decr n;
+                         let outcome = flip_outcome outcome in
+                         let cert =
+                           match forged_cert ~txn ~outcome with
+                           | Some c -> Some c
+                           | None -> cert
+                         in
+                         Tpc.Msg.Decision_msg { txn; outcome; cert }
+                     | _ -> p)
+                 | Tpc.Msg.Vote_msg v ->
+                     let seen = cell votes_seen (src, dst) 0 in
+                     incr seen;
+                     let targets = cell flip_targets (src, dst) [] in
+                     if List.mem !seen !targets then begin
+                       targets := List.filter (fun n -> n <> !seen) !targets;
+                       Tpc.Msg.Vote_msg { v with vote = flip_vote v.vote }
+                     end
+                     else p
+                 | _ -> p)
+               payloads
+           in
+           if wants_replay then Hashtbl.replace last_bundle (src, dst) out;
+           out))
   else ();
   let forge_seq = ref 0 in
   List.iter
@@ -439,7 +576,12 @@ let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
                         | Forge_commit -> Tpc.Types.Committed
                         | _ -> Tpc.Types.Aborted
                       in
-                      Tpc.Msg.Decision_msg { txn; outcome }
+                      (* the forgery carries a valid certificate exactly
+                         when the adversary holds an f+1 quorum of replica
+                         keys; below the threshold it is uncertified and
+                         BFT members refuse it *)
+                      Tpc.Msg.Decision_msg
+                        { txn; outcome; cert = forged_cert ~txn ~outcome }
                 in
                 Tpc.Net.inject net ~src ~dst [ payload ])
           end
@@ -449,7 +591,22 @@ let inject ?(broken_recovery = false) ?(jitter_seed = 0x5eed) plan
                 let p = Tpc.Run.participant w node in
                 List.iter
                   (fun txn -> Tpc.Participant.force_heuristic p ~txn action)
-                  (Tpc.Participant.in_doubt_txns p)))
+                  (Tpc.Participant.in_doubt_txns p))
+      | Replay { at; src; dst; count } ->
+          (* genuine stale re-delivery: whatever bundle last crossed this
+             link is injected again, verbatim - no forged content, just
+             duplicated history.  Honest protocols must absorb duplicates
+             idempotently; nothing to replay (quiet link) is a no-op. *)
+          if known src && known dst && src <> dst then
+            sched_at ~at (fun () ->
+                match Hashtbl.find_opt last_bundle (src, dst) with
+                | Some payloads ->
+                    for _ = 1 to count do
+                      Tpc.Net.inject net ~src ~dst payloads
+                    done
+                | None -> ())
+      | Corrupt_replica { at; replica } ->
+          sched_at ~at (fun () -> Hashtbl.replace corrupted replica ()))
     plan
 
 (* ------------------------------------------------------------------ *)
@@ -508,7 +665,7 @@ let audit (w : Tpc.Run.world) summaries =
           | Wal.Log_record.Rm_update | Wal.Log_record.Rm_prepared
           | Wal.Log_record.Checkpoint | Wal.Log_record.Commit_pending
           | Wal.Log_record.Prepared | Wal.Log_record.End
-          | Wal.Log_record.Agent ->
+          | Wal.Log_record.Agent | Wal.Log_record.Certificate ->
               ())
         (Wal.Log.all_records wal))
     (Tpc.Run.all_wals w);

@@ -51,6 +51,16 @@ type event =
       (** at [at], every transaction in doubt at [node] is resolved
           heuristically as [action], as if an impatient operator overrode
           the protocol *)
+  | Replay of { at : float; src : string; dst : string; count : int }
+      (** at [at], re-deliver the last bundle that genuinely crossed the
+          [src -> dst] link, [count] times - stale duplicated history, not
+          forged content ([forge@] fabricates payloads that never existed).
+          A no-op if the link has carried nothing yet. *)
+  | Corrupt_replica of { at : float; replica : int }
+      (** from [at] on, the adversary holds the signing key of BFT
+          coordinator replica [replica]; with f+1 distinct corrupted
+          replicas it can mint valid decision certificates, below that
+          threshold its forgeries and equivocations stay uncertifiable *)
 
 type plan = event list
 
@@ -58,14 +68,21 @@ val is_adversarial_event : event -> bool
 
 val is_adversarial : plan -> bool
 (** True iff the plan contains at least one adversarial event
-    (equivocation, vote flip, forgery or forced heuristic); such plans get
-    the damage-accounting audit instead of the benign pass/fail check. *)
+    (equivocation, vote flip, forgery, forced heuristic, replay or replica
+    corruption); such plans get the damage-accounting audit instead of the
+    benign pass/fail check. *)
+
+val corrupted_replicas : plan -> int
+(** Distinct BFT coordinator replicas the plan corrupts; the chaos gate
+    compares this against the configured [f] ("corrupted <= f implies zero
+    atomicity violations"). *)
 
 val event_to_string : event -> string
 (** Compact one-token form: [crash@T:node:+D] (or [:-] for no restart),
     [part@T:a|b:+D] (or [:-]), [drop@T:src>dst:n], [jit@T:src>dst:amp],
     [equiv@T:node:k], [flip@T:src>dst:n], [forge@T:src>dst:kind] (kind one
-    of [prepare]/[commit]/[abort]), [heur@T:node:commit|abort]. *)
+    of [prepare]/[commit]/[abort]), [heur@T:node:commit|abort],
+    [replay@T:src>dst:k], [corrupt@T:idx:-]. *)
 
 val to_string : plan -> string
 (** Events joined with [","]; the empty plan is [""]. *)
@@ -91,17 +108,30 @@ type gen_cfg = {
   vote_flips : int;
   forgeries : int;
   forced_heuristics : int;
+  replays : int;  (** second adversarial wave; zero in [default_gen] *)
+  corruptions : int;
+      (** distinct BFT replicas to corrupt, capped at [corrupt_domain] *)
+  corrupt_domain : int;
+      (** replica index space ([2f+1] for the target tolerance [f]); 3 in
+          [default_gen] *)
+  gc_align : float option;
+      (** when set, every adversarial event time is snapped to the nearest
+          multiple of this group-commit flush window after all draws, so
+          faults land exactly at the batched-force boundary.  Pure
+          post-draw retiming: it consumes no RNG draws, so the un-aligned
+          plan for the same seed is unchanged.  [None] in [default_gen]. *)
 }
 
 val default_gen : gen_cfg
 
 val gen : seed:int -> nodes:string list -> gen_cfg -> plan
 (** Compile a fault plan from [seed], sorted by time.  Partition, drop,
-    jitter, vote-flip and forgery events need at least two nodes and are
-    skipped otherwise.  Adversarial draws come strictly after every benign
-    draw, so with the adversarial counts at zero the generated plan is
-    byte-identical to the pre-adversary generator's for the same seed.
-    Raises [Invalid_argument] on an empty node list. *)
+    jitter, vote-flip, forgery and replay events need at least two nodes
+    and are skipped otherwise.  Adversarial draws come strictly after
+    every benign draw (and the replay/corruption wave strictly after the
+    first adversarial wave), so with the adversarial counts at zero the
+    generated plan is byte-identical to the pre-adversary generator's for
+    the same seed.  Raises [Invalid_argument] on an empty node list. *)
 
 val tree_nodes : Tpc.Types.tree -> string list
 (** Member names of a commit tree, root first - the node universe for

@@ -324,7 +324,8 @@ let replay_bindings records ~node =
         | Wal.Log_record.Rm_prepared | Wal.Log_record.Commit_pending
         | Wal.Log_record.Prepared | Wal.Log_record.Committed
         | Wal.Log_record.Aborted | Wal.Log_record.End | Wal.Log_record.Agent
-        | Wal.Log_record.Heuristic_commit | Wal.Log_record.Heuristic_abort ->
+        | Wal.Log_record.Heuristic_commit | Wal.Log_record.Heuristic_abort
+        | Wal.Log_record.Certificate ->
             ())
     records;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) store []
@@ -369,7 +370,7 @@ let recover t =
       | Wal.Log_record.Commit_pending | Wal.Log_record.Prepared
       | Wal.Log_record.Committed | Wal.Log_record.Aborted | Wal.Log_record.End
       | Wal.Log_record.Agent | Wal.Log_record.Heuristic_commit
-      | Wal.Log_record.Heuristic_abort ->
+      | Wal.Log_record.Heuristic_abort | Wal.Log_record.Certificate ->
           ()
   in
   List.iter scan (Wal.Log.durable t.log);

@@ -12,6 +12,7 @@ type kind =
   | Rm_committed
   | Rm_aborted
   | Checkpoint
+  | Certificate
 
 type t = { txn : string; node : string; kind : kind; payload : string }
 
@@ -31,6 +32,7 @@ let kind_to_string = function
   | Rm_committed -> "rm-committed"
   | Rm_aborted -> "rm-aborted"
   | Checkpoint -> "checkpoint"
+  | Certificate -> "certificate"
 
 let pp ppf t =
   Format.fprintf ppf "[%s@%s %s%s]" t.txn t.node (kind_to_string t.kind)
@@ -40,5 +42,5 @@ let is_tm_record t =
   match t.kind with
   | Rm_update | Rm_prepared | Rm_committed | Rm_aborted | Checkpoint -> false
   | Commit_pending | Prepared | Committed | Aborted | End | Agent
-  | Heuristic_commit | Heuristic_abort ->
+  | Heuristic_commit | Heuristic_abort | Certificate ->
       true

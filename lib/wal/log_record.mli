@@ -20,6 +20,9 @@ type kind =
   | Rm_committed
   | Rm_aborted
   | Checkpoint      (** resource-manager store snapshot; bounds recovery *)
+  | Certificate
+      (** BFT decision certificate (serialized endorsement quorum); appended
+          just before the outcome force so both harden together *)
 
 type t = {
   txn : string;        (** transaction identifier *)

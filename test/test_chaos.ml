@@ -248,6 +248,148 @@ let test_adversarial_shrink_deterministic () =
     "reparsed repro: identical accounting" (F.accounting_fields a1)
     (F.accounting_fields a2)
 
+(* --- replay faults and the BFT adversary budget ------------------------ *)
+
+let bft_gen =
+  {
+    adversarial_gen with
+    F.replays = 2;
+    corruptions = 1;
+    corrupt_domain = 3 (* 2f+1 with f=1 *);
+  }
+
+let test_replay_forms_parse () =
+  let s = "replay@10:coord>sub0:2,replay@20:sub1>sub2:1,corrupt@30:0:-,corrupt@40:2:-" in
+  Alcotest.(check string) "replay and corrupt forms parse and reprint" s
+    (F.to_string (F.of_string s));
+  Alcotest.(check bool) "recognized as adversarial" true
+    (F.is_adversarial (F.of_string s));
+  Alcotest.(check int) "two distinct corrupted replicas" 2
+    (F.corrupted_replicas (F.of_string s));
+  Alcotest.(check int) "duplicates count once" 1
+    (F.corrupted_replicas (F.of_string "corrupt@5:1:-,corrupt@9:1:-"))
+
+let test_replay_draws_after_legacy () =
+  (* replays and corruptions are drawn after every PR7 draw, so both the
+     benign prefix and the legacy adversarial wave stay byte-identical *)
+  let nodes = F.tree_nodes (tree ()) in
+  let second_wave = function
+    | F.Replay _ | F.Corrupt_replica _ -> true
+    | _ -> false
+  in
+  for seed = 0 to 15 do
+    let legacy = F.gen ~seed ~nodes adversarial_gen in
+    let extended = F.gen ~seed ~nodes bft_gen in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d legacy plan is a sub-plan" seed)
+      (F.to_string legacy)
+      (F.to_string (List.filter (fun e -> not (second_wave e)) extended));
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d drew the second wave" seed)
+      true
+      (List.exists second_wave extended)
+  done
+
+let test_replays_absorbed protocol () =
+  (* genuine stale payloads re-delivered on live links: every legacy
+     protocol must refuse or idempotently absorb them *)
+  let t = tree () in
+  let gen = { F.default_gen with F.replays = 3 } in
+  for seed = 0 to 7 do
+    let plan = F.gen ~seed ~nodes:(F.tree_nodes t) gen in
+    let _agg, v, acc, _w =
+      F.run_case_adversarial ~config:(chaos_config protocol) (mixer_cfg ()) t
+        plan
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d (%s) replays absorbed" seed
+         (protocol_to_string protocol))
+      true
+      (F.adversarial_ok v acc && acc.F.a_atomicity = 0)
+  done
+
+let test_gc_align_is_pure_retiming () =
+  let nodes = F.tree_nodes (tree ()) in
+  let aligned_gen = { bft_gen with F.gc_align = Some 4.0 } in
+  let at = function
+    | F.Crash { at; _ }
+    | F.Partition { at; _ }
+    | F.Drop { at; _ }
+    | F.Jitter { at; _ }
+    | F.Equivocate { at; _ }
+    | F.Flip_vote { at; _ }
+    | F.Forge { at; _ }
+    | F.Force_heuristic { at; _ }
+    | F.Replay { at; _ }
+    | F.Corrupt_replica { at; _ } ->
+        at
+  in
+  for seed = 0 to 15 do
+    let plain = F.gen ~seed ~nodes bft_gen in
+    let aligned = F.gen ~seed ~nodes aligned_gen in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d same event count" seed)
+      (List.length plain) (List.length aligned);
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d benign events untouched" seed)
+      (F.to_string (List.filter (fun e -> not (F.is_adversarial_event e)) plain))
+      (F.to_string
+         (List.filter (fun e -> not (F.is_adversarial_event e)) aligned));
+    List.iter
+      (fun e ->
+        if F.is_adversarial_event e then
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d event at %.3f on a force boundary" seed
+               (at e))
+            true
+            (at e >= 4.0 && Float.rem (at e) 4.0 = 0.0))
+      aligned
+  done
+
+let bft_config () = chaos_config (Custom "bft") (* default_config has f=1 *)
+
+let test_bft_sub_threshold_guarantee () =
+  (* the tentpole claim: with at most f corrupted replicas, the full
+     adversarial mix plus replays achieves zero atomicity violations and
+     zero silent damage - certificates hold the commit tree together *)
+  let t = tree () in
+  for seed = 0 to 9 do
+    let plan = F.gen ~seed ~nodes:(F.tree_nodes t) bft_gen in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d stays below threshold" seed)
+      true
+      (F.corrupted_replicas plan <= 1);
+    let _agg, v, acc, _w =
+      F.run_case_adversarial ~config:(bft_config ()) (mixer_cfg ()) t plan
+    in
+    if not (F.adversarial_ok v acc && acc.F.a_atomicity = 0) then
+      Alcotest.failf "seed %d broke the sub-threshold guarantee: %s" seed
+        (String.concat ","
+           (List.map
+              (fun (k, c) -> Printf.sprintf "%s=%d" k c)
+              (F.accounting_fields acc)))
+  done
+
+let test_bft_above_threshold_violates () =
+  (* the gate isn't vacuous: hand the adversary the whole ensemble (3 > f)
+     and some schedule in the range does inflict an atomicity violation *)
+  let t = tree () in
+  let gen = { bft_gen with F.corruptions = 3 } in
+  let violations = ref 0 in
+  for seed = 0 to 19 do
+    let plan = F.gen ~seed ~nodes:(F.tree_nodes t) gen in
+    if F.corrupted_replicas plan > 1 then begin
+      let _agg, _v, acc, _w =
+        F.run_case_adversarial ~config:(bft_config ()) (mixer_cfg ()) t plan
+      in
+      violations := !violations + acc.F.a_atomicity
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "above-threshold corruption violated somewhere (%d)"
+       !violations)
+    true (!violations > 0)
+
 let suite =
   [
     Alcotest.test_case "plan round-trips" `Quick test_plan_round_trip;
@@ -276,4 +418,20 @@ let suite =
       (test_adversarial_sweep_classified Presumed_nothing);
     Alcotest.test_case "adversarial shrink is deterministic and replayable"
       `Quick test_adversarial_shrink_deterministic;
+    Alcotest.test_case "replay and corrupt forms parse" `Quick
+      test_replay_forms_parse;
+    Alcotest.test_case "second-wave draws leave legacy plans untouched" `Quick
+      test_replay_draws_after_legacy;
+    Alcotest.test_case "Basic absorbs replays" `Quick
+      (test_replays_absorbed Basic);
+    Alcotest.test_case "PA absorbs replays" `Quick
+      (test_replays_absorbed Presumed_abort);
+    Alcotest.test_case "PN absorbs replays" `Quick
+      (test_replays_absorbed Presumed_nothing);
+    Alcotest.test_case "gc alignment retimes only adversarial events" `Quick
+      test_gc_align_is_pure_retiming;
+    Alcotest.test_case "bft sub-threshold guarantee holds" `Quick
+      test_bft_sub_threshold_guarantee;
+    Alcotest.test_case "bft above-threshold corruption violates" `Quick
+      test_bft_above_threshold_violates;
   ]

@@ -285,7 +285,7 @@ let test_forged_conflicting_decision_rejected () =
          real parent M - contradicts that and must be refused *)
       let rejected, w =
         forge ~config ~src:"M" ~dst:"S"
-          [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Aborted } ]
+          [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Aborted; cert = None } ]
       in
       Alcotest.(check int)
         (impl.P.p_flag ^ " conflicting decision rejected")
@@ -304,7 +304,8 @@ let test_forged_stranger_payloads_rejected () =
       let rejected, _w =
         forge ~config ~src:"S" ~dst:"C"
           [
-            Tpc.Msg.Decision_msg { txn = "ghost-1"; outcome = Committed };
+            Tpc.Msg.Decision_msg
+              { txn = "ghost-1"; outcome = Committed; cert = None };
             Tpc.Msg.Vote_msg
               {
                 txn = "ghost-2";
@@ -312,8 +313,10 @@ let test_forged_stranger_payloads_rejected () =
                 delegation = false;
                 unsolicited = true;
                 implied_ack = false;
+                tag = "";
               };
-            Tpc.Msg.Inquiry_reply { txn = "ghost-3"; outcome = Some Committed };
+            Tpc.Msg.Inquiry_reply
+              { txn = "ghost-3"; outcome = Some Committed; cert = None };
           ]
       in
       Alcotest.(check int)
@@ -339,6 +342,7 @@ let test_forged_ack_and_downward_vote_rejected () =
                 delegation = false;
                 unsolicited = false;
                 implied_ack = false;
+                tag = "";
               };
           ]
       in
@@ -364,6 +368,166 @@ let test_pn_rejects_inquiries () =
       ~src:"S" ~dst:"M" inquiry
   in
   Alcotest.(check int) "PA admits the same inquiry" 0 rejected_pa
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine tolerance: a decision is only actionable under an f+1      *)
+(* endorsement certificate, and recovery re-validates durable ones      *)
+(* ------------------------------------------------------------------ *)
+
+let bft_id () =
+  match P.of_string "bft" with
+  | Some p -> p
+  | None -> Alcotest.fail "bft not registered"
+
+let mk_cert ~quorum ~txn ~outcome ~votes =
+  {
+    Tpc.Msg.c_endorsements =
+      List.init quorum (fun r -> Tpc.Msg.endorse ~replica:r ~txn ~outcome ~votes);
+  }
+
+let test_bft_registry_round_trip () =
+  let id = bft_id () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " resolves to bft") true
+        (P.of_string name = Some id))
+    [ "bft"; "BFT"; "byzantine"; "bft-2pc" ];
+  Alcotest.(check string) "flag printed for JSONL" "bft" (P.flag id);
+  Alcotest.(check bool) "bft is a certified protocol" true
+    ((P.resolve id).P.p_certify <> None);
+  List.iter
+    (fun (impl : P.t) ->
+      if impl.P.p_id <> id then
+        Alcotest.(check bool)
+          (impl.P.p_flag ^ " stays uncertified")
+          true
+          (impl.P.p_certify = None))
+    (all ())
+
+let test_bft_certificate_validity () =
+  let valid f c ~txn ~outcome =
+    Tpc.Msg.certificate_valid ~f ~txn ~outcome c
+  in
+  let c = mk_cert ~quorum:2 ~txn:"t" ~outcome:Committed ~votes:"v" in
+  Alcotest.(check bool) "f+1 matching endorsements valid" true
+    (valid 1 c ~txn:"t" ~outcome:Committed);
+  Alcotest.(check bool) "below a larger quorum invalid" false
+    (valid 2 c ~txn:"t" ~outcome:Committed);
+  Alcotest.(check bool) "wrong outcome invalid" false
+    (valid 1 c ~txn:"t" ~outcome:Aborted);
+  Alcotest.(check bool) "wrong transaction invalid" false
+    (valid 1 c ~txn:"u" ~outcome:Committed);
+  let e = Tpc.Msg.endorse ~replica:0 ~txn:"t" ~outcome:Committed ~votes:"v" in
+  Alcotest.(check bool) "duplicate replicas don't reach quorum" false
+    (valid 1 { Tpc.Msg.c_endorsements = [ e; e ] } ~txn:"t" ~outcome:Committed);
+  let e' = Tpc.Msg.endorse ~replica:1 ~txn:"t" ~outcome:Committed ~votes:"w" in
+  Alcotest.(check bool) "endorsements over different vote sets invalid" false
+    (valid 1
+       { Tpc.Msg.c_endorsements = [ e; e' ] }
+       ~txn:"t" ~outcome:Committed);
+  Alcotest.(check bool) "out-of-ensemble replica index doesn't count" false
+    (valid 1
+       {
+         Tpc.Msg.c_endorsements =
+           [ e; Tpc.Msg.endorse ~replica:7 ~txn:"t" ~outcome:Committed ~votes:"v" ];
+       }
+       ~txn:"t" ~outcome:Committed)
+
+let test_bft_cert_string_round_trip () =
+  List.iter
+    (fun (quorum, outcome) ->
+      let c = mk_cert ~quorum ~txn:"txn-9" ~outcome ~votes:"a=yes|b=yes" in
+      match Tpc.Msg.cert_of_string (Tpc.Msg.cert_to_string c) with
+      | Some c' ->
+          Alcotest.(check bool) "certificate round-trips its WAL form" true
+            (c = c')
+      | None -> Alcotest.fail "certificate string failed to parse")
+    [ (1, Committed); (2, Aborted); (4, Committed) ]
+
+let test_bft_refuses_uncertified_decision () =
+  let config = default_config |> with_protocol (bft_id ()) in
+  let rejected, w =
+    forge ~config ~src:"M" ~dst:"S"
+      [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Committed; cert = None } ]
+  in
+  Alcotest.(check int) "uncertified duplicate decision refused" 1 rejected;
+  Alcotest.(check int) "counted as a certificate refusal" 1
+    (Tpc.Participant.rejected_certs (Tpc.Run.participant w "S"));
+  (* a certificate below the f+1 quorum is just as dead *)
+  let low = mk_cert ~quorum:1 ~txn:"txn-1" ~outcome:Committed ~votes:"v" in
+  Tpc.Net.inject w.Tpc.Run.net ~src:"M" ~dst:"S"
+    [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Committed; cert = Some low } ];
+  Simkernel.Engine.run w.Tpc.Run.engine;
+  Alcotest.(check int) "sub-quorum certificate refused" 2
+    (Tpc.Participant.rejected_certs (Tpc.Run.participant w "S"));
+  (* the above-threshold sanity case at message level: an adversary
+     holding f+1 replica keys mints a valid certificate and the honest
+     node admits the decision - tolerance is conditional, not absolute *)
+  let full = mk_cert ~quorum:2 ~txn:"txn-1" ~outcome:Committed ~votes:"stolen" in
+  Tpc.Net.inject w.Tpc.Run.net ~src:"M" ~dst:"S"
+    [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Committed; cert = Some full } ];
+  Simkernel.Engine.run w.Tpc.Run.engine;
+  Alcotest.(check int) "f+1 forged endorsements defeat the check" 2
+    (Tpc.Participant.rejected_certs (Tpc.Run.participant w "S"));
+  check_consistent "state still consistent throughout" w ~txn:"txn-1"
+    ~outcome:Committed
+
+let test_bft_refuses_uncertified_outcome_reply () =
+  let config = default_config |> with_protocol (bft_id ()) in
+  let rejected, _w =
+    forge ~config ~src:"M" ~dst:"S"
+      [
+        Tpc.Msg.Inquiry_reply
+          { txn = "txn-1"; outcome = Some Committed; cert = None };
+      ]
+  in
+  Alcotest.(check int) "uncertified outcome reply refused" 1 rejected
+
+let test_bft_refuses_mis_signed_vote () =
+  let config = default_config |> with_protocol (bft_id ()) in
+  let yes = Vote_yes { reliable = false; leave_out_ok = false } in
+  let rejected, _w =
+    forge ~config ~src:"S" ~dst:"M"
+      [
+        Tpc.Msg.Vote_msg
+          {
+            txn = "txn-1";
+            vote = yes;
+            delegation = false;
+            unsolicited = true;
+            implied_ack = false;
+            tag = "not-the-signature";
+          };
+      ]
+  in
+  Alcotest.(check int) "vote with a wrong signature refused" 1 rejected
+
+let test_bft_counts_match_cost_model () =
+  let config = default_config |> with_protocol (bft_id ()) in
+  let m, _w = run ~config (two ()) in
+  check_counts "--protocol bft matches the tolerance cost row"
+    (Tpc.Cost_model.bft ~f:1 ~n:2) m
+
+let test_bft_restart_revalidates_certs () =
+  let config = default_config |> with_protocol (bft_id ()) in
+  let m, w = run ~config (three ()) in
+  check_outcome "bft commits" (Some Committed) m;
+  let s = Tpc.Run.participant w "S" in
+  (* plant a corrupted durable certificate record, then crash/restart:
+     recovery must refuse it (counted) while replaying the genuine ones *)
+  let bogus =
+    Wal.Log_record.make ~txn:"txn-1" ~node:"S" ~payload:"garbage"
+      Wal.Log_record.Certificate
+  in
+  Wal.Log.force (Tpc.Participant.log s) bogus (fun () -> ());
+  Simkernel.Engine.run w.Tpc.Run.engine;
+  Tpc.Participant.force_crash s;
+  Tpc.Participant.force_restart s;
+  Simkernel.Engine.run w.Tpc.Run.engine;
+  Alcotest.(check int) "corrupted durable certificate refused at recovery" 1
+    (Tpc.Participant.rejected_certs s);
+  check_consistent "recovered state consistent" w ~txn:"txn-1"
+    ~outcome:Committed
 
 let suite =
   [
@@ -405,4 +569,20 @@ let suite =
       test_forged_ack_and_downward_vote_rejected;
     Alcotest.test_case "PN rejects subordinate inquiries" `Quick
       test_pn_rejects_inquiries;
+    Alcotest.test_case "bft registry round-trip" `Quick
+      test_bft_registry_round_trip;
+    Alcotest.test_case "bft certificate validity rules" `Quick
+      test_bft_certificate_validity;
+    Alcotest.test_case "bft certificate WAL form round-trips" `Quick
+      test_bft_cert_string_round_trip;
+    Alcotest.test_case "bft refuses uncertified decisions" `Quick
+      test_bft_refuses_uncertified_decision;
+    Alcotest.test_case "bft refuses uncertified outcome replies" `Quick
+      test_bft_refuses_uncertified_outcome_reply;
+    Alcotest.test_case "bft refuses mis-signed votes" `Quick
+      test_bft_refuses_mis_signed_vote;
+    Alcotest.test_case "bft matches the tolerance cost model" `Quick
+      test_bft_counts_match_cost_model;
+    Alcotest.test_case "bft restart re-validates durable certificates" `Quick
+      test_bft_restart_revalidates_certs;
   ]

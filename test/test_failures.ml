@@ -223,7 +223,7 @@ let test_duplicate_decision_is_idempotent () =
   check_outcome "commits" (Some Committed) m;
   ignore
     (Tpc.Net.send w.Tpc.Run.net ~src:"C" ~dst:"S"
-       [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Committed } ]);
+       [ Tpc.Msg.Decision_msg { txn = "txn-1"; outcome = Committed; cert = None } ]);
   Simkernel.Engine.run w.Tpc.Run.engine;
   Alcotest.(check (option string)) "value applied exactly once"
     (Some "upd-by-txn-1")

@@ -37,11 +37,11 @@ let test_payload_txn () =
   let payloads =
     [
       Tpc.Msg.Prepare { txn = "t"; long_locks = false };
-      Tpc.Msg.Decision_msg { txn = "t"; outcome = Committed };
+      Tpc.Msg.Decision_msg { txn = "t"; outcome = Committed; cert = None };
       Tpc.Msg.Ack_msg { txn = "t"; damage = []; pending = false };
       Tpc.Msg.Data { txn = "t"; info = "" };
       Tpc.Msg.Inquiry { txn = "t" };
-      Tpc.Msg.Inquiry_reply { txn = "t"; outcome = None };
+      Tpc.Msg.Inquiry_reply { txn = "t"; outcome = None; cert = None };
     ]
   in
   List.iter
@@ -55,13 +55,13 @@ let test_payload_labels () =
   Alcotest.(check string) "prepare long-locks" "Prepare(long-locks)"
     (lbl (Tpc.Msg.Prepare { txn = "t"; long_locks = true }));
   Alcotest.(check string) "commit" "Commit"
-    (lbl (Tpc.Msg.Decision_msg { txn = "t"; outcome = Committed }));
+    (lbl (Tpc.Msg.Decision_msg { txn = "t"; outcome = Committed; cert = None }));
   Alcotest.(check string) "abort" "Abort"
-    (lbl (Tpc.Msg.Decision_msg { txn = "t"; outcome = Aborted }));
+    (lbl (Tpc.Msg.Decision_msg { txn = "t"; outcome = Aborted; cert = None }));
   Alcotest.(check string) "pending ack" "Ack(pending)"
     (lbl (Tpc.Msg.Ack_msg { txn = "t"; damage = []; pending = true }));
   Alcotest.(check string) "no info" "NoInformation"
-    (lbl (Tpc.Msg.Inquiry_reply { txn = "t"; outcome = None }));
+    (lbl (Tpc.Msg.Inquiry_reply { txn = "t"; outcome = None; cert = None }));
   let vote =
     Tpc.Msg.Vote_msg
       {
@@ -70,6 +70,7 @@ let test_payload_labels () =
         delegation = true;
         unsolicited = false;
         implied_ack = true;
+        tag = "";
       }
   in
   Alcotest.(check string) "decorated vote"
