@@ -610,7 +610,251 @@ let parallel_result_json ~jobs r =
       ("identical_to_jobs1", Tpc.Json.Bool r.pr_identical);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Kernel microbench: raw agenda throughput, counter-only              *)
+(* ------------------------------------------------------------------ *)
+
+(* A population of self-rescheduling timers with near-future delays
+   (0.5..4.0 virtual units, the horizon typical of 2PC timers), counting
+   fires until a target is reached.  No protocol, no allocation in the
+   flat variant: this isolates the schedule/fire cycle of the agenda.
+   Three variants bound the design space: the timing wheel driving flat
+   events (the new hot path), the wheel driving closures, and the binary
+   heap driving closures (the old kernel, kept as the oracle). *)
+
+type micro_result = {
+  mb_name : string;
+  mb_agenda : string;
+  mb_flat : bool;
+  mb_processed : int;
+  mb_wall : float;
+}
+
+let micro_events_per_second r =
+  if r.mb_wall > 0.0 then float_of_int r.mb_processed /. r.mb_wall else nan
+
+let kernel_microbench ~agenda ~flat ~events =
+  let module E = Simkernel.Engine in
+  let e = E.create ~agenda () in
+  let n = ref 0 in
+  let pop = 64 in
+  let delay i = 0.5 *. float_of_int ((i land 7) + 1) in
+  if flat then begin
+    let kind_ref = ref None in
+    let kind =
+      E.register_kind e ~name:"bench.tick" (fun a0 _ _ _ ->
+          incr n;
+          if !n <= events - pop then
+            match !kind_ref with
+            | Some k ->
+                ignore
+                  (E.schedule_flat e ~delay:(delay a0) ~kind:k ~a0:(a0 + 1)
+                     ~a1:0 ~a2:0)
+            | None -> ())
+    in
+    kind_ref := Some kind;
+    for i = 0 to pop - 1 do
+      ignore (E.schedule_flat e ~delay:(delay i) ~kind ~a0:i ~a1:0 ~a2:0)
+    done
+  end
+  else begin
+    let rec tick i () =
+      incr n;
+      if !n <= events - pop then ignore (E.schedule e ~delay:(delay i) (tick (i + 1)))
+    in
+    for i = 0 to pop - 1 do
+      ignore (E.schedule e ~delay:(delay i) (tick i))
+    done
+  end;
+  E.run e;
+  let s = E.stats e in
+  {
+    mb_name =
+      Printf.sprintf "%s-%s" (E.agenda_name e)
+        (if flat then "flat" else "closure");
+    mb_agenda = E.agenda_name e;
+    mb_flat = flat;
+    mb_processed = s.E.events_processed;
+    mb_wall = s.E.wall_seconds;
+  }
+
+let micro_variants = [ (`Wheel, true); (`Wheel, false); (`Heap, false) ]
+
+let run_microbench ?(events = 2_000_000) () =
+  (* one warm-up pass per variant, then best-of-3 measured passes: the
+     fastest pass is the one least disturbed by the host scheduler, which
+     is what a cross-run regression gate should compare *)
+  List.map
+    (fun (agenda, flat) ->
+      ignore (kernel_microbench ~agenda ~flat ~events:(events / 10));
+      let passes =
+        List.init 3 (fun _ -> kernel_microbench ~agenda ~flat ~events)
+      in
+      List.fold_left
+        (fun best r -> if r.mb_wall < best.mb_wall then r else best)
+        (List.hd passes) (List.tl passes))
+    micro_variants
+
+let micro_json results =
+  let headline =
+    match List.find_opt (fun r -> r.mb_agenda = "wheel" && r.mb_flat) results with
+    | Some r -> micro_events_per_second r
+    | None -> nan
+  in
+  Tpc.Json.Obj
+    [
+      ( "variants",
+        Tpc.Json.List
+          (List.map
+             (fun r ->
+               Tpc.Json.Obj
+                 [
+                   ("name", Tpc.Json.String r.mb_name);
+                   ("agenda", Tpc.Json.String r.mb_agenda);
+                   ("flat", Tpc.Json.Bool r.mb_flat);
+                   ("events_processed", Tpc.Json.Int r.mb_processed);
+                   ("wall_seconds", Tpc.Json.Float r.mb_wall);
+                   ( "events_per_second",
+                     Tpc.Json.Float (micro_events_per_second r) );
+                 ])
+             results) );
+      (* the number the --check regression gate compares *)
+      ("headline_events_per_second", Tpc.Json.Float headline);
+    ]
+
+let micro_table results =
+  section "Kernel microbench (counter-only, single core)";
+  Format.printf "%-16s %-12s %-12s %s@." "variant" "events" "wall (s)"
+    "events/sec";
+  List.iter
+    (fun r ->
+      Format.printf "%-16s %-12d %-12.4f %.3e@." r.mb_name r.mb_processed
+        r.mb_wall (micro_events_per_second r))
+    results;
+  Format.printf
+    "@.Shape check: wheel-flat is the production hot path; heap-closure is \
+     the pre-wheel kernel kept as the differential oracle.@."
+
+(* ------------------------------------------------------------------ *)
+(* Speedup vs jobs: the same chaos fan-out at every domain count       *)
+(* ------------------------------------------------------------------ *)
+
+type speedup_level = {
+  sl_jobs : int;
+  sl_wall : float;
+  sl_identical : bool;
+}
+
+let run_speedup_vs_jobs ~jobs () =
+  let run = chaos_scenario () in
+  let (lines1, events), wall1 = time_run (fun () -> run ~jobs:1) in
+  let levels =
+    List.map
+      (fun j ->
+        if j = 1 then { sl_jobs = 1; sl_wall = wall1; sl_identical = true }
+        else
+          let (lines_j, _), wall_j = time_run (fun () -> run ~jobs:j) in
+          { sl_jobs = j; sl_wall = wall_j; sl_identical = lines_j = lines1 })
+      (List.init (max 1 jobs) (fun i -> i + 1))
+  in
+  (events, wall1, levels)
+
+let speedup_vs_jobs_json (events, wall1, levels) =
+  Tpc.Json.Obj
+    [
+      ("scenario", Tpc.Json.String "chaos-50-seeds");
+      ("events", Tpc.Json.Int events);
+      ( "levels",
+        Tpc.Json.List
+          (List.map
+             (fun l ->
+               Tpc.Json.Obj
+                 [
+                   ("jobs", Tpc.Json.Int l.sl_jobs);
+                   ("wall_seconds", Tpc.Json.Float l.sl_wall);
+                   ( "speedup",
+                     Tpc.Json.Float
+                       (if l.sl_wall > 0.0 then wall1 /. l.sl_wall else nan) );
+                   ("identical_to_jobs1", Tpc.Json.Bool l.sl_identical);
+                 ])
+             levels) );
+    ]
+
+let speedup_vs_jobs_table (events, wall1, levels) =
+  section "Speedup vs jobs (chaos fan-out, 50 seeds)";
+  Format.printf "events per run: %d@." events;
+  Format.printf "%-7s %-12s %-9s %s@." "jobs" "wall (s)" "speedup" "identical";
+  List.iter
+    (fun l ->
+      Format.printf "%-7d %-12.3f %-9.2f %s@." l.sl_jobs l.sl_wall
+        (if l.sl_wall > 0.0 then wall1 /. l.sl_wall else nan)
+        (if l.sl_identical then "yes" else "NO"))
+    levels;
+  if List.exists (fun l -> not l.sl_identical) levels then begin
+    Format.printf
+      "@.FAILURE: parallel output differs from the sequential run.@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: --check BASELINE.json                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-measure the microbench headline and fail (exit 1) when it fell more
+   than [tolerance] below the baseline's recorded figure.  Cross-host
+   variance is real, so the default tolerance is generous (20%); CI runs
+   this against the artifact the same host just generated when it wants a
+   tight gate. *)
+let check_against ~tolerance path =
+  let baseline =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Tpc.Json.parse s
+  in
+  let recorded =
+    match
+      Option.bind
+        (Tpc.Json.member "microbench" baseline)
+        (fun m ->
+          Option.bind
+            (Tpc.Json.member "headline_events_per_second" m)
+            Tpc.Json.to_float_opt)
+    with
+    | Some v when v > 0.0 -> v
+    | _ ->
+        Format.printf
+          "bench --check: %s has no microbench.headline_events_per_second \
+           (schema tpc-bench-parallel/2 required)@."
+          path;
+        exit 2
+  in
+  let results = run_microbench () in
+  micro_table results;
+  let current =
+    match List.find_opt (fun r -> r.mb_agenda = "wheel" && r.mb_flat) results with
+    | Some r -> micro_events_per_second r
+    | None -> 0.0
+  in
+  let floor_ = recorded *. (1.0 -. tolerance) in
+  Format.printf
+    "@.check: current %.3e events/sec vs baseline %.3e (floor at %.0f%%: \
+     %.3e)@."
+    current recorded
+    ((1.0 -. tolerance) *. 100.0)
+    floor_;
+  if current < floor_ then begin
+    Format.printf "FAILURE: kernel throughput regressed past the tolerance.@.";
+    exit 1
+  end;
+  Format.printf "ok: within tolerance.@."
+
 let parallel_bench ~jobs ~json_out () =
+  let micro = run_microbench () in
+  micro_table micro;
+  let sp = run_speedup_vs_jobs ~jobs () in
+  speedup_vs_jobs_table sp;
   section
     (Printf.sprintf
        "Parallel experiment runner (jobs=%d, recommended=%d, cores=%d)" jobs
@@ -640,22 +884,26 @@ let parallel_bench ~jobs ~json_out () =
       let report =
         Tpc.Json.Obj
           [
-            ("schema", Tpc.Json.String "tpc-bench-parallel/1");
+            ("schema", Tpc.Json.String "tpc-bench-parallel/2");
             ("jobs", Tpc.Json.Int jobs);
             ( "recommended_jobs",
               Tpc.Json.Int (Parallel.recommended_jobs ()) );
             ("cores", Tpc.Json.Int (Domain.recommended_domain_count ()));
             (* A single-core host can only time the domain-pool overhead,
                never a real speedup — mark such reports so nobody quotes
-               their numbers as multicore scaling results. *)
+               their numbers as multicore scaling results.  The microbench
+               section is valid on any host: it is single-core by design. *)
             ( "provisional",
               Tpc.Json.Bool (Domain.recommended_domain_count () < 2) );
             ( "provisional_reason",
               Tpc.Json.String
                 (if Domain.recommended_domain_count () < 2 then
-                   "measured on a 1-core host: speedup_vs_jobs1 reflects \
-                    pool overhead only; regenerate on a multicore machine"
+                   "speedup sections measured on a 1-core host: they reflect \
+                    pool overhead only; regenerate on a multicore machine \
+                    (the microbench section is host-independent)"
                  else "") );
+            ("microbench", micro_json micro);
+            ("speedup_vs_jobs", speedup_vs_jobs_json sp);
             ( "scenarios",
               Tpc.Json.List (List.map (parallel_result_json ~jobs) results) );
           ]
@@ -672,12 +920,14 @@ let () =
   let json_out = ref None in
   let jobs = ref (Parallel.recommended_jobs ()) in
   let parallel_only = ref false in
+  let check = ref None in
+  let check_tolerance = ref 0.20 in
   Arg.parse
     [
       ( "--json",
         Arg.String (fun s -> json_out := Some s),
         "FILE Write the parallel-runner report as JSON (schema \
-         tpc-bench-parallel/1)." );
+         tpc-bench-parallel/2)." );
       ( "--jobs",
         Arg.Set_int jobs,
         "N Domains for the parallel scenarios (default: recommended)." );
@@ -685,9 +935,23 @@ let () =
         Arg.Set parallel_only,
         " Skip the paper tables and micro-benchmarks; run only the parallel \
          runner scenarios." );
+      ( "--check",
+        Arg.String (fun s -> check := Some s),
+        "FILE Re-run the kernel microbench and exit nonzero if \
+         events/sec fell more than the tolerance below FILE's recorded \
+         headline." );
+      ( "--check-tolerance",
+        Arg.Set_float check_tolerance,
+        "F Allowed fractional regression for --check (default 0.20)." );
     ]
     (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
-    "dune exec bench/main.exe -- [--parallel-only] [--jobs N] [--json FILE]";
+    "dune exec bench/main.exe -- [--parallel-only] [--jobs N] [--json FILE] \
+     [--check BASELINE.json]";
+  (match !check with
+  | Some path ->
+      check_against ~tolerance:!check_tolerance path;
+      exit 0
+  | None -> ());
   if not !parallel_only then begin
     Format.printf
       "Reproduction of: Samaras, Britton, Citron, Mohan - 'Two-Phase Commit \

@@ -592,6 +592,12 @@ let stats_cmd protocol opt_names n txns concurrency seed =
     agg.Tpc.Metrics.Agg.label n txns concurrency
     agg.Tpc.Metrics.Agg.committed agg.Tpc.Metrics.Agg.aborted;
   Format.printf "engine:@.";
+  Format.printf "  agenda             %s@."
+    (agenda_name w.Tpc.Run.engine);
+  Format.printf "  arena capacity     %d slots@."
+    (arena_capacity w.Tpc.Run.engine);
+  Format.printf "  event kinds        %s@."
+    (String.concat ", " (kind_names w.Tpc.Run.engine));
   Format.printf "  events processed   %d@." s.events_processed;
   Format.printf "  events scheduled   %d@." s.events_scheduled;
   Format.printf "  events cancelled   %d@." s.events_cancelled;

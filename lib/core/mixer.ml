@@ -219,10 +219,10 @@ end
 (* The engine                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off) cfg
-    tree =
+let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off)
+    ?scratch cfg tree =
   if cfg.txns <= 0 then invalid_arg "Mixer.run: txns must be positive";
-  let w = Run.setup ~config tree in
+  let w = Run.setup ~config ?scratch tree in
   let engine = w.Run.engine in
   let reg = w.Run.registry in
   Obs.Causal.set_mode w.Run.causal causal;
@@ -385,7 +385,14 @@ let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off) cfg
       finish x Aborted
     end
   in
-  let lock_timeout x () = fail_txn x in
+  (* Arrivals and lock-wait timeouts are the driver's two per-transaction
+     event classes; both schedule flat (kind + txn index) so the steady-state
+     workload allocates no event closures.  [by_idx] maps the index back. *)
+  let by_idx : txn_rec option array = Array.make (cfg.txns + 1) None in
+  let timeout_kind =
+    E.register_kind engine ~name:"mixer.lock_timeout" (fun i _ _ _ ->
+        match by_idx.(i) with Some x -> fail_txn x | None -> ())
+  in
   (* Branch abandonment (fault runs only): a member that entered a commit's
      write phase but was never asked to vote - its coordinator died or was
      cut off before Prepare reached it - would hold its locks forever,
@@ -490,7 +497,7 @@ let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off) cfg
         end
   in
   (* -- arrivals ---------------------------------------------------- *)
-  let arrive i () =
+  let arrive i =
     (* this transaction's data exchange carries any deferred acks: the
        "genuinely-next transaction" of the long-locks design *)
     flush_all ();
@@ -510,19 +517,26 @@ let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off) cfg
       }
     in
     Hashtbl.replace records txn x;
+    by_idx.(i) <- Some x;
     order := txn :: !order;
     incr arrived;
     incr outstanding;
     crecord x Obs.Causal.Compute (fun () -> "arrival");
-    x.x_timer <- Some (E.schedule engine ~delay:cfg.lock_timeout (lock_timeout x));
+    x.x_timer <-
+      Some
+        (E.schedule_flat engine ~delay:cfg.lock_timeout ~kind:timeout_kind
+           ~a0:i ~a1:0 ~a2:0);
     acquire x x.x_items
+  in
+  let arrive_kind =
+    E.register_kind engine ~name:"mixer.arrive" (fun i _ _ _ -> arrive i)
   in
   let mean =
     cfg.base_interarrival /. float_of_int (max 1 cfg.concurrency)
   in
   let at = ref 0.0 in
   for i = 1 to cfg.txns do
-    ignore (E.schedule engine ~delay:!at (arrive i));
+    ignore (E.schedule_flat engine ~delay:!at ~kind:arrive_kind ~a0:i ~a1:0 ~a2:0);
     at := !at +. Simkernel.Det_rng.exponential rng ~mean
   done;
   (* the fault plan (if any) schedules its crashes, partitions, drops and
@@ -634,6 +648,6 @@ let run_full ?(config = default_config) ?inject ?(causal = Obs.Causal.Off) cfg
   in
   (agg, w, summaries)
 
-let run ?config cfg tree =
-  let agg, w, _ = run_full ?config cfg tree in
+let run ?config ?scratch cfg tree =
+  let agg, w, _ = run_full ?config ?scratch cfg tree in
   (agg, w)

@@ -77,6 +77,7 @@ val run_full :
   ?config:Types.config ->
   ?inject:(Run.world -> unit) ->
   ?causal:Obs.Causal.mode ->
+  ?scratch:Simkernel.Engine.t ->
   cfg ->
   Types.tree ->
   Metrics.Agg.t * Run.world * txn_summary list
@@ -89,10 +90,16 @@ val run_full :
     commit becomes a causal event graph reachable from
     [world.Run.causal] — arrivals, lock grants and the commit trigger are
     recorded on the root's chain so each graph is connected from arrival
-    to the application-notified terminal. *)
+    to the application-notified terminal.  [scratch] is forwarded to
+    {!Run.setup}: the world is built on a recycled engine instead of a
+    fresh one. *)
 
 val run :
-  ?config:Types.config -> cfg -> Types.tree -> Metrics.Agg.t * Run.world
+  ?config:Types.config ->
+  ?scratch:Simkernel.Engine.t ->
+  cfg ->
+  Types.tree ->
+  Metrics.Agg.t * Run.world
 (** Submit [cfg.txns] transactions against a fresh world built from [tree]
     under [config], run the engine to quiescence and aggregate.
 

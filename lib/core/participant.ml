@@ -138,6 +138,10 @@ type t = {
       (* heuristic-damage reports that reached this node's operator, as
          (txn, report); populated where the protocol says reports stop
          (immediate coordinator for PA/basic, root for PN) *)
+  guard_kind : Simkernel.Engine.kind;
+      (* flat event kind for epoch-guarded timers: a0 carries the epoch the
+         timer was armed under, the closure payload is the callback.  Saves
+         the per-timer guard-closure allocation of the old [sched]. *)
 }
 
 let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
@@ -146,7 +150,16 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
   List.iter
     (fun f -> if f.f_node = profile.p_name then Hashtbl.replace faults f.f_point f)
     cfg.faults;
-  {
+  let tref = ref None in
+  let guard_kind =
+    Simkernel.Engine.register_kind engine
+      ~name:("participant.guard." ^ profile.p_name) (fun ep _ _ f ->
+        match !tref with
+        | Some t when (not t.crashed) && t.epoch = ep -> f ()
+        | _ -> ())
+  in
+  let t =
+    {
     name = profile.p_name;
     profile;
     cfg;
@@ -174,9 +187,13 @@ let create ~engine ~net ~trace ~(cfg : config) ~profile ~parent ~child_profiles
     deferred = [];
     rejected = 0;
     rejected_certs = 0;
-    certs = Hashtbl.create 4;
-    damage_seen = [];
-  }
+      certs = Hashtbl.create 4;
+      damage_seen = [];
+      guard_kind;
+    }
+  in
+  tref := Some t;
+  t
 
 let name t = t.name
 let kv t = t.kv
@@ -205,9 +222,8 @@ let now t = Simkernel.Engine.now t.engine
 (* Schedule a callback that is silently dropped if the node crashes (and
    possibly restarts) in the meantime. *)
 let sched t ~delay f =
-  let ep = t.epoch in
-  Simkernel.Engine.schedule t.engine ~delay (fun () ->
-      if (not t.crashed) && t.epoch = ep then f ())
+  Simkernel.Engine.schedule_flat_fn t.engine ~delay ~kind:t.guard_kind
+    ~a0:t.epoch f
 
 let sched_ t ~delay f = ignore (sched t ~delay f)
 

@@ -39,8 +39,17 @@ let all_wals w =
 (** Build the simulated complex: one participant, WAL and resource manager
     per tree member.  A member with [p_shares_parent_log] reuses its
     parent's WAL (the shared-log optimization). *)
-let setup ?(config = default_config) tree =
-  let engine = Simkernel.Engine.create () in
+let setup ?(config = default_config) ?scratch tree =
+  let engine =
+    match scratch with
+    | Some e ->
+        (* recycled engine: reset returns it to the fresh-create state while
+           keeping its arrays at high-water capacity, so a driver running
+           many small worlds per domain stops re-paying allocation warm-up *)
+        Simkernel.Engine.reset e;
+        e
+    | None -> Simkernel.Engine.create ()
+  in
   let net = Net.create engine ~default_latency:config.latency () in
   let trace = Trace.create ~keep_events:config.trace_events () in
   let registry = Obs.Registry.create () in

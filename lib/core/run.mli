@@ -33,10 +33,17 @@ type world = {
       (** wait-for-outcome: completion carried "outcome pending" *)
 }
 
-val setup : ?config:Types.config -> Types.tree -> world
+val setup : ?config:Types.config -> ?scratch:Simkernel.Engine.t -> Types.tree -> world
 (** Build the complex: one participant, write-ahead log and key-value
     resource manager per member.  With the shared-log optimization enabled,
-    members flagged [p_shares_parent_log] reuse their parent's log. *)
+    members flagged [p_shares_parent_log] reuse their parent's log.
+
+    [scratch] recycles an engine from a previous world via
+    {!Simkernel.Engine.reset} instead of allocating a fresh one: the
+    per-world setup cost is amortized across a driver's many small cells.
+    A world built on a recycled engine behaves byte-identically to one
+    built on a fresh engine; the caller must no longer drive the previous
+    world that used it. *)
 
 val node : world -> string -> node
 val participant : world -> string -> Participant.t

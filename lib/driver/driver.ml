@@ -59,6 +59,26 @@ let with_blocking enabled reg json =
         Tpc.Json.Obj (fields @ [ ("blocking", Faultlab.blocking_json reg) ])
     | other -> other
 
+(* Per-domain scratch engine: each worker domain keeps one engine alive and
+   [Engine.reset]s it between cells, so small cells stop re-paying arena and
+   agenda warm-up on every world.  Safe because a cell drives its world to
+   quiescence before the thunk returns (only the immutable stats snapshot
+   and the per-world registry outlive it), and reset restores the exact
+   fresh-create observable state.  The shrink path deliberately does NOT use
+   the scratch engine: it re-runs candidate schedules while the primary
+   world's engine stats are still to be read. *)
+let scratch_key : Simkernel.Engine.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scratch_engine () =
+  let r = Domain.DLS.get scratch_key in
+  match !r with
+  | Some e -> e
+  | None ->
+      let e = Simkernel.Engine.create () in
+      r := Some e;
+      e
+
 (* Fan a list of cell thunks out over the pool, reporting completions
    through [progress] under one lock so callers may mutate state inside. *)
 let run_cells ?progress ~jobs cells =
@@ -82,7 +102,7 @@ let sweep_cells ?progress ~jobs p =
     in
     let cfg = { p.sw_mixer with Tpc.Mixer.concurrency } in
     let tree = Workload.mixer_tree ~n:p.sw_n ~opts:set () in
-    let agg, w = Tpc.Mixer.run ~config cfg tree in
+    let agg, w = Tpc.Mixer.run ~config ~scratch:(scratch_engine ()) cfg tree in
     let stats = Simkernel.Engine.stats w.Tpc.Run.engine in
     let line =
       Tpc.Json.to_string
@@ -195,17 +215,18 @@ let chaos_cells ?progress ~jobs p =
       | Some plan -> plan
       | None -> Faultlab.gen ~seed ~nodes p.ch_gen
     in
+    let scratch = scratch_engine () in
     let agg, v, acc_opt, w =
       if adversary then
         let agg, v, acc, w =
           Faultlab.run_case_adversarial ~config ~broken_recovery:p.ch_broken
-            cfg p.ch_tree plan
+            ~scratch cfg p.ch_tree plan
         in
         (agg, v, Some acc, w)
       else
         let agg, v, w =
-          Faultlab.run_case_full ~config ~broken_recovery:p.ch_broken cfg
-            p.ch_tree plan
+          Faultlab.run_case_full ~config ~broken_recovery:p.ch_broken ~scratch
+            cfg p.ch_tree plan
         in
         (agg, v, None, w)
     in

@@ -952,12 +952,12 @@ let adversarial_ok (v : verdict) (a : accounting) =
   a.a_heur_silent = 0 && v.v_wal_divergence = 0 && v.v_leaked_locks = 0
   && v.v_engine_pending = 0
 
-let run_case_full ?config ?(broken_recovery = false) ?jitter_seed mix tree plan
-    =
+let run_case_full ?config ?(broken_recovery = false) ?jitter_seed ?scratch mix
+    tree plan =
   let agg, w, summaries =
     Tpc.Mixer.run_full ?config
       ~inject:(inject ~broken_recovery ?jitter_seed plan)
-      mix tree
+      ?scratch mix tree
   in
   (agg, audit w summaries, w)
 
@@ -965,12 +965,12 @@ let run_case ?config ?broken_recovery ?jitter_seed mix tree plan =
   let agg, v, _w = run_case_full ?config ?broken_recovery ?jitter_seed mix tree plan in
   (agg, v)
 
-let run_case_adversarial ?config ?(broken_recovery = false) ?jitter_seed mix
-    tree plan =
+let run_case_adversarial ?config ?(broken_recovery = false) ?jitter_seed
+    ?scratch mix tree plan =
   let agg, w, summaries =
     Tpc.Mixer.run_full ?config
       ~inject:(inject ~broken_recovery ?jitter_seed plan)
-      mix tree
+      ?scratch mix tree
   in
   (agg, audit w summaries, account w summaries, w)
 

@@ -191,13 +191,15 @@ val run_case_full :
   ?config:Tpc.Types.config ->
   ?broken_recovery:bool ->
   ?jitter_seed:int ->
+  ?scratch:Simkernel.Engine.t ->
   Tpc.Mixer.cfg ->
   Tpc.Types.tree ->
   plan ->
   Tpc.Metrics.Agg.t * verdict * Tpc.Run.world
 (** {!run_case}, also exposing the quiesced world — the parallel driver
     reads its engine stats and folds its telemetry registry into a
-    sweep-wide one. *)
+    sweep-wide one.  [scratch] recycles an engine from a previous world
+    (see {!Tpc.Run.setup}). *)
 
 (** {2 Damage accounting (adversarial audit)} *)
 
@@ -267,6 +269,7 @@ val run_case_adversarial :
   ?config:Tpc.Types.config ->
   ?broken_recovery:bool ->
   ?jitter_seed:int ->
+  ?scratch:Simkernel.Engine.t ->
   Tpc.Mixer.cfg ->
   Tpc.Types.tree ->
   plan ->

@@ -1,24 +1,62 @@
 exception Negative_delay of float
 
-(* The agenda is a binary min-heap ordered by (time, seq).  The [seq]
-   tiebreak gives FIFO semantics for same-time events, which is what makes
-   runs deterministic. *)
+(* The agenda orders events by (time, seq).  The [seq] tiebreak gives FIFO
+   semantics for same-time events, which is what makes runs deterministic.
 
-(* A fired or cancelled cell holds [no_thunk] (compared physically) rather
-   than an option: scheduling is the hottest allocation site in the whole
-   simulator, and the sentinel saves one [Some] box per event. *)
+   Two interchangeable agenda structures implement that order:
+
+   - [Wheel] (default): a calendar queue.  Pending events hash into
+     fixed-width time buckets; the imminent bucket is materialized into a
+     sorted run ([cur]) and consumed in order, far-future events sit in a
+     small overflow heap until the wheel window slides over them.
+     Schedule, cancel and pop are O(1) at the near-future horizons typical
+     of 2PC timers (message latencies, retransmit intervals, group-commit
+     timeouts); only events beyond the wheel horizon pay an O(log n)
+     overflow hop.
+
+   - [Heap]: the original binary min-heap, kept as the differential-testing
+     oracle (select with [~agenda:`Heap] or TPC_AGENDA=heap).  Both
+     structures order events by exactly the same total key, so every run
+     is byte-identical whichever agenda is active.
+
+   Events themselves live in a flat arena of parallel arrays (time, seq,
+   kind, three int argument slots, optional thunk) rather than one closure
+   record per event: scheduling is the hottest allocation site in the whole
+   simulator, and the dominant event classes (network deliveries, WAL I/O
+   completions, arrival timers) carry int-coded kinds dispatched through a
+   per-engine handler table, so their schedule/fire cycle allocates
+   nothing.  The closure path ([schedule]) remains for rare cold events.
+
+   An [event] handle packs (generation stamp, arena slot) into one int, so
+   handles are allocation-free too and a handle outliving its slot (fired,
+   cancelled, or the slot recycled) is detected by the stamp and cancels
+   nothing. *)
+
 let no_thunk () = ()
 
-type cell = { time : float; seq : int; mutable thunk : unit -> unit }
+type event = int
 
-(* The handle IS the heap cell, so cancellation is O(1): clear the thunk
-   and let [step] discard the dead cell when it surfaces. *)
-type event = cell
+type handler = int -> int -> int -> (unit -> unit) -> unit
+type kind = int
 
-(* Profiling counters: cheap enough to maintain unconditionally, and purely
-   observational — nothing in the simulation reads them back, so determinism
-   is untouched.  [wall_seconds] is host time spent firing events, the only
-   non-virtual quantity in the whole simulator. *)
+(* arena slot states, stored in [ev_kind]: *)
+let k_free = -2
+let k_cancelled = -1
+let k_closure = 0
+(* registered flat kinds are >= 1 *)
+
+let slot_bits = 28
+let slot_mask = (1 lsl slot_bits) - 1
+
+(* wheel geometry: 4096 buckets of width 0.5 cover a 2048-time-unit
+   horizon, comfortably past every protocol timer (latencies are O(1..32),
+   retransmit intervals O(25), lock timeouts O(120)).  Only pre-scheduled
+   far-future work (open-loop arrival tails, fault plans) overflows. *)
+let wheel_nb = 4096
+let wheel_mask = wheel_nb - 1
+let inv_width = 2.0 (* 1 / bucket width *)
+let occ_words = wheel_nb lsr 5 (* 32 occupancy bits per word *)
+
 type stats = {
   events_processed : int;
   events_scheduled : int;
@@ -27,25 +65,94 @@ type stats = {
   wall_seconds : float;
 }
 
+type agenda = Wheel | Heap
+
 type t = {
   mutable clock : float;
-  mutable heap : cell array;
-  mutable size : int;
+  impl : agenda;
+  (* event arena: parallel arrays indexed by slot *)
+  mutable cap : int;
+  mutable ev_time : float array;
+  mutable ev_seq : int array;
+  mutable ev_kind : int array;
+  mutable ev_a0 : int array;
+  mutable ev_a1 : int array;
+  mutable ev_a2 : int array;
+  mutable ev_thunk : (unit -> unit) array;
+  mutable ev_next : int array; (* bucket chain / freelist link *)
+  mutable ev_stamp : int array; (* bumped when the slot is freed *)
+  mutable free_head : int;
+  (* flat-kind dispatch table; index 0 is the closure pseudo-kind *)
+  mutable handlers : handler array;
+  mutable kind_names : string array;
+  mutable n_kinds : int;
+  (* heap agenda *)
+  mutable hp : int array;
+  mutable hp_len : int;
+  (* wheel agenda *)
+  wh_buckets : int array; (* ring: head slot of chain, -1 = empty *)
+  wh_occ : int array; (* occupancy bitmap over ring indices *)
+  mutable wh_mat : int; (* highest materialized absolute bucket *)
+  mutable wh_cur : int array; (* sorted imminent run *)
+  mutable wh_cur_pos : int;
+  mutable wh_cur_len : int;
+  mutable ovf : int array; (* min-heap of far-future slots *)
+  mutable ovf_len : int;
+  (* profiling counters: purely observational *)
   mutable next_seq : int;
-  mutable live : int; (* non-cancelled entries in the heap *)
+  mutable live : int;
   mutable processed : int;
   mutable cancelled : int;
-  mutable queue_hwm : int; (* high-water mark of live entries *)
+  mutable queue_hwm : int;
   mutable wall : float;
 }
 
-let dummy_cell = { time = 0.0; seq = -1; thunk = no_thunk }
+let default_agenda =
+  match Sys.getenv_opt "TPC_AGENDA" with
+  | Some ("heap" | "HEAP") -> Heap
+  | _ -> Wheel
 
-let create () =
+let dummy_handler (_ : int) (_ : int) (_ : int) (_ : unit -> unit) = ()
+
+let initial_cap = 256
+
+let create ?agenda () =
+  let impl =
+    match agenda with
+    | Some `Heap -> Heap
+    | Some `Wheel -> Wheel
+    | None -> default_agenda
+  in
+  let cap = initial_cap in
+  let ev_next = Array.init cap (fun i -> i + 1) in
+  ev_next.(cap - 1) <- -1;
   {
     clock = 0.0;
-    heap = Array.make 64 dummy_cell;
-    size = 0;
+    impl;
+    cap;
+    ev_time = Array.make cap 0.0;
+    ev_seq = Array.make cap 0;
+    ev_kind = Array.make cap k_free;
+    ev_a0 = Array.make cap 0;
+    ev_a1 = Array.make cap 0;
+    ev_a2 = Array.make cap 0;
+    ev_thunk = Array.make cap no_thunk;
+    ev_next;
+    ev_stamp = Array.make cap 0;
+    free_head = 0;
+    handlers = Array.make 8 dummy_handler;
+    kind_names = Array.make 8 "closure";
+    n_kinds = 1;
+    hp = Array.make 64 0;
+    hp_len = 0;
+    wh_buckets = Array.make wheel_nb (-1);
+    wh_occ = Array.make occ_words 0;
+    wh_mat = -1;
+    wh_cur = Array.make 64 0;
+    wh_cur_pos = 0;
+    wh_cur_len = 0;
+    ovf = Array.make 64 0;
+    ovf_len = 0;
     next_seq = 0;
     live = 0;
     processed = 0;
@@ -53,6 +160,10 @@ let create () =
     queue_hwm = 0;
     wall = 0.0;
   }
+
+let agenda t = match t.impl with Wheel -> `Wheel | Heap -> `Heap
+let agenda_name t = match t.impl with Wheel -> "wheel" | Heap -> "heap"
+let arena_capacity t = t.cap
 
 let stats t =
   {
@@ -65,91 +176,432 @@ let stats t =
 
 let now t = t.clock
 
-let cell_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* ------------------------------------------------------------------ *)
+(* Arena                                                               *)
+(* ------------------------------------------------------------------ *)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+let grow_arena t =
+  let cap = t.cap in
+  let ncap = 2 * cap in
+  let copy_i a = Array.append a (Array.make cap 0) in
+  t.ev_time <- Array.append t.ev_time (Array.make cap 0.0);
+  t.ev_seq <- copy_i t.ev_seq;
+  t.ev_kind <- Array.append t.ev_kind (Array.make cap k_free);
+  t.ev_a0 <- copy_i t.ev_a0;
+  t.ev_a1 <- copy_i t.ev_a1;
+  t.ev_a2 <- copy_i t.ev_a2;
+  t.ev_thunk <- Array.append t.ev_thunk (Array.make cap no_thunk);
+  t.ev_next <- copy_i t.ev_next;
+  t.ev_stamp <- copy_i t.ev_stamp;
+  for s = cap to ncap - 1 do
+    t.ev_next.(s) <- s + 1
+  done;
+  t.ev_next.(ncap - 1) <- t.free_head;
+  t.free_head <- cap;
+  t.cap <- ncap
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if cell_lt t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+let alloc_slot t =
+  if t.free_head = -1 then grow_arena t;
+  let s = t.free_head in
+  t.free_head <- Array.unsafe_get t.ev_next s;
+  s
+
+let free_slot t s =
+  Array.unsafe_set t.ev_kind s k_free;
+  Array.unsafe_set t.ev_thunk s no_thunk;
+  Array.unsafe_set t.ev_stamp s (Array.unsafe_get t.ev_stamp s + 1);
+  Array.unsafe_set t.ev_next s t.free_head;
+  t.free_head <- s
+
+(* total order on pending events: (time, seq) lexicographic *)
+let slot_lt t a b =
+  let ta = Array.unsafe_get t.ev_time a and tb = Array.unsafe_get t.ev_time b in
+  ta < tb
+  || (ta = tb && Array.unsafe_get t.ev_seq a < Array.unsafe_get t.ev_seq b)
+
+(* ------------------------------------------------------------------ *)
+(* Heap agenda (oracle)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hp_push t s =
+  if t.hp_len = Array.length t.hp then
+    t.hp <- Array.append t.hp (Array.make t.hp_len 0);
+  t.hp.(t.hp_len) <- s;
+  t.hp_len <- t.hp_len + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if slot_lt t t.hp.(i) t.hp.(parent) then begin
+        let tmp = t.hp.(i) in
+        t.hp.(i) <- t.hp.(parent);
+        t.hp.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.hp_len - 1)
+
+let hp_pop t =
+  let top = t.hp.(0) in
+  t.hp_len <- t.hp_len - 1;
+  t.hp.(0) <- t.hp.(t.hp_len);
+  if t.hp_len > 0 then begin
+    let rec down i =
+      let l = (2 * i) + 1 in
+      let r = l + 1 in
+      let s = if l < t.hp_len && slot_lt t t.hp.(l) t.hp.(i) then l else i in
+      let s = if r < t.hp_len && slot_lt t t.hp.(r) t.hp.(s) then r else s in
+      if s <> i then begin
+        let tmp = t.hp.(i) in
+        t.hp.(i) <- t.hp.(s);
+        t.hp.(s) <- tmp;
+        down s
+      end
+    in
+    down 0
+  end;
+  top
+
+(* ------------------------------------------------------------------ *)
+(* Wheel agenda                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Bucket of a timestamp.  The mapping only partitions events — ordering is
+   enforced by the sorted [cur] run — so all that matters is monotonicity,
+   which float multiply + truncate gives for the non-negative times the
+   engine admits. *)
+let bidx time = int_of_float (time *. inv_width)
+
+let occ_set t rb =
+  let w = rb lsr 5 in
+  t.wh_occ.(w) <- t.wh_occ.(w) lor (1 lsl (rb land 31))
+
+let occ_clear t rb =
+  let w = rb lsr 5 in
+  t.wh_occ.(w) <- t.wh_occ.(w) land lnot (1 lsl (rb land 31))
+
+let lowest_bit v =
+  let rec go v i = if v land 1 = 1 then i else go (v asr 1) (i + 1) in
+  go v 0
+
+(* first occupied ring index at or after [rb0], scanning the whole ring
+   with wrap; -1 when the ring is empty *)
+let occ_next t rb0 =
+  let w0 = rb0 lsr 5 in
+  let b0 = rb0 land 31 in
+  let masked = t.wh_occ.(w0) land ((-1) lsl b0) in
+  if masked <> 0 then (w0 lsl 5) + lowest_bit masked
+  else begin
+    let rec go i remaining =
+      if remaining = 0 then -1
+      else
+        let wi = i land (occ_words - 1) in
+        let v = t.wh_occ.(wi) in
+        if v <> 0 then (wi lsl 5) + lowest_bit v else go (i + 1) (remaining - 1)
+    in
+    go (w0 + 1) occ_words
+  end
+
+let ring_push t s b =
+  let rb = b land wheel_mask in
+  Array.unsafe_set t.ev_next s t.wh_buckets.(rb);
+  t.wh_buckets.(rb) <- s;
+  occ_set t rb
+
+let ovf_push t s =
+  if t.ovf_len = Array.length t.ovf then
+    t.ovf <- Array.append t.ovf (Array.make t.ovf_len 0);
+  t.ovf.(t.ovf_len) <- s;
+  t.ovf_len <- t.ovf_len + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if slot_lt t t.ovf.(i) t.ovf.(parent) then begin
+        let tmp = t.ovf.(i) in
+        t.ovf.(i) <- t.ovf.(parent);
+        t.ovf.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.ovf_len - 1)
+
+let ovf_pop t =
+  let top = t.ovf.(0) in
+  t.ovf_len <- t.ovf_len - 1;
+  t.ovf.(0) <- t.ovf.(t.ovf_len);
+  if t.ovf_len > 0 then begin
+    let rec down i =
+      let l = (2 * i) + 1 in
+      let r = l + 1 in
+      let s = if l < t.ovf_len && slot_lt t t.ovf.(l) t.ovf.(i) then l else i in
+      let s = if r < t.ovf_len && slot_lt t t.ovf.(r) t.ovf.(s) then r else s in
+      if s <> i then begin
+        let tmp = t.ovf.(i) in
+        t.ovf.(i) <- t.ovf.(s);
+        t.ovf.(s) <- tmp;
+        down s
+      end
+    in
+    down 0
+  end;
+  top
+
+(* slide the wheel window after [wh_mat] moved: far-future events whose
+   bucket is now inside the ring move out of the overflow heap *)
+let migrate_overflow t =
+  let horizon = t.wh_mat + wheel_nb in
+  while t.ovf_len > 0 && bidx t.ev_time.(t.ovf.(0)) <= horizon do
+    let s = ovf_pop t in
+    ring_push t s (bidx t.ev_time.(s))
+  done
+
+(* in-place sort of cur[lo..hi) by (time, seq); insertion sort for short
+   runs, median-of-3 quicksort above.  Keys are unique, so any correct
+   sort yields the one deterministic order. *)
+let rec sort_run t a lo hi =
+  let n = hi - lo in
+  if n <= 24 then
+    for i = lo + 1 to hi - 1 do
+      let s = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && slot_lt t s a.(!j) do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- s
+    done
+  else begin
+    let mid = lo + (n / 2) in
+    let a0 = a.(lo) and a1 = a.(mid) and a2 = a.(hi - 1) in
+    let pivot =
+      if slot_lt t a0 a1 then
+        if slot_lt t a1 a2 then a1 else if slot_lt t a0 a2 then a2 else a0
+      else if slot_lt t a0 a2 then a0
+      else if slot_lt t a1 a2 then a2
+      else a1
+    in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while slot_lt t a.(!i) pivot do
+        incr i
+      done;
+      while slot_lt t pivot a.(!j) do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    sort_run t a lo (!j + 1);
+    sort_run t a !i hi
+  end
+
+(* pull ring bucket [b] into a fresh sorted [cur] run *)
+let materialize t b =
+  let rb = b land wheel_mask in
+  occ_clear t rb;
+  let rec count s n = if s = -1 then n else count t.ev_next.(s) (n + 1) in
+  let n = count t.wh_buckets.(rb) 0 in
+  if n > Array.length t.wh_cur then
+    t.wh_cur <- Array.make (max n (2 * Array.length t.wh_cur)) 0;
+  let rec fill s i =
+    if s <> -1 then begin
+      t.wh_cur.(i) <- s;
+      fill t.ev_next.(s) (i + 1)
+    end
+  in
+  fill t.wh_buckets.(rb) 0;
+  t.wh_buckets.(rb) <- -1;
+  sort_run t t.wh_cur 0 n;
+  t.wh_cur_pos <- 0;
+  t.wh_cur_len <- n;
+  t.wh_mat <- b;
+  migrate_overflow t
+
+(* make cur hold the next pending event; false when the agenda is empty *)
+let rec wheel_ensure t =
+  if t.wh_cur_pos < t.wh_cur_len then true
+  else begin
+    let rb0 = (t.wh_mat + 1) land wheel_mask in
+    let rb = occ_next t rb0 in
+    if rb >= 0 then begin
+      (* ring index back to the absolute bucket inside the window *)
+      let b = t.wh_mat + 1 + ((rb - rb0) land wheel_mask) in
+      materialize t b;
+      true
+    end
+    else if t.ovf_len = 0 then false
+    else begin
+      (* ring empty: jump the window to the earliest far-future bucket *)
+      t.wh_mat <- bidx t.ev_time.(t.ovf.(0)) - 1;
+      migrate_overflow t;
+      wheel_ensure t
     end
   end
 
-(* no [ref] scratch cell: this runs once per pop, on the hot path *)
-let rec sift_down t i =
-  let l = (2 * i) + 1 in
-  let r = l + 1 in
-  let s = if l < t.size && cell_lt t.heap.(l) t.heap.(i) then l else i in
-  let s = if r < t.size && cell_lt t.heap.(r) t.heap.(s) then r else s in
-  if s <> i then begin
-    swap t i s;
-    sift_down t s
-  end
+(* insert into the already-materialized sorted run (bucket <= wh_mat):
+   binary search for the insertion point among the not-yet-fired suffix *)
+let cur_insert t s =
+  if t.wh_cur_len = Array.length t.wh_cur then begin
+    if t.wh_cur_pos > 0 then begin
+      (* compact the fired prefix away instead of growing *)
+      Array.blit t.wh_cur t.wh_cur_pos t.wh_cur 0 (t.wh_cur_len - t.wh_cur_pos);
+      t.wh_cur_len <- t.wh_cur_len - t.wh_cur_pos;
+      t.wh_cur_pos <- 0
+    end
+    else
+      t.wh_cur <- Array.append t.wh_cur (Array.make (Array.length t.wh_cur) 0)
+  end;
+  let lo = ref t.wh_cur_pos and hi = ref t.wh_cur_len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if slot_lt t s t.wh_cur.(mid) then hi := mid else lo := mid + 1
+  done;
+  Array.blit t.wh_cur !lo t.wh_cur (!lo + 1) (t.wh_cur_len - !lo);
+  t.wh_cur.(!lo) <- s;
+  t.wh_cur_len <- t.wh_cur_len + 1
 
-let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) dummy_cell in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
+let wheel_insert t s =
+  let b = bidx t.ev_time.(s) in
+  if b <= t.wh_mat then cur_insert t s
+  else if b - t.wh_mat <= wheel_nb then ring_push t s b
+  else ovf_push t s
 
-let push t cell =
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- cell;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+(* ------------------------------------------------------------------ *)
+(* Unified agenda ops                                                  *)
+(* ------------------------------------------------------------------ *)
 
-let pop t =
-  let top = t.heap.(0) in
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy_cell;
-  if t.size > 0 then sift_down t 0;
-  top
+let agenda_insert t s =
+  match t.impl with Wheel -> wheel_insert t s | Heap -> hp_push t s
+
+(* next pending slot without removing it; -1 when empty *)
+let agenda_peek t =
+  match t.impl with
+  | Wheel -> if wheel_ensure t then t.wh_cur.(t.wh_cur_pos) else -1
+  | Heap -> if t.hp_len > 0 then t.hp.(0) else -1
+
+let agenda_pop t =
+  match t.impl with
+  | Wheel ->
+      if wheel_ensure t then begin
+        let s = Array.unsafe_get t.wh_cur t.wh_cur_pos in
+        t.wh_cur_pos <- t.wh_cur_pos + 1;
+        s
+      end
+      else -1
+  | Heap -> if t.hp_len > 0 then hp_pop t else -1
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_slot t ~time ~kind ~a0 ~a1 ~a2 f =
+  let s = alloc_slot t in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Array.unsafe_set t.ev_time s time;
+  Array.unsafe_set t.ev_seq s seq;
+  Array.unsafe_set t.ev_kind s kind;
+  Array.unsafe_set t.ev_a0 s a0;
+  Array.unsafe_set t.ev_a1 s a1;
+  Array.unsafe_set t.ev_a2 s a2;
+  Array.unsafe_set t.ev_thunk s f;
+  agenda_insert t s;
+  t.live <- t.live + 1;
+  if t.live > t.queue_hwm then t.queue_hwm <- t.live;
+  (Array.unsafe_get t.ev_stamp s lsl slot_bits) lor s
 
 let schedule_at t ~time f =
   if time < t.clock then raise (Negative_delay (time -. t.clock));
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  let cell = { time; seq; thunk = f } in
-  push t cell;
-  t.live <- t.live + 1;
-  if t.live > t.queue_hwm then t.queue_hwm <- t.live;
-  cell
+  schedule_slot t ~time ~kind:k_closure ~a0:0 ~a1:0 ~a2:0 f
 
 let schedule t ~delay f =
   if delay < 0.0 then raise (Negative_delay delay);
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_slot t ~time:(t.clock +. delay) ~kind:k_closure ~a0:0 ~a1:0 ~a2:0 f
 
-(* Cancellation clears the handle's thunk; the dead heap entry is discarded
-   lazily when it reaches the top.  Cancelling a fired or already-cancelled
-   event is a no-op ([step] clears the thunk before firing). *)
-let cancel t (c : event) =
-  if c.thunk != no_thunk then begin
-    c.thunk <- no_thunk;
+let register_kind t ~name f =
+  let k = t.n_kinds in
+  if k = Array.length t.handlers then begin
+    t.handlers <- Array.append t.handlers (Array.make k dummy_handler);
+    t.kind_names <- Array.append t.kind_names (Array.make k "")
+  end;
+  t.handlers.(k) <- f;
+  t.kind_names.(k) <- name;
+  t.n_kinds <- k + 1;
+  k
+
+let kind_names t = Array.to_list (Array.sub t.kind_names 0 t.n_kinds)
+
+let schedule_flat t ~delay ~kind ~a0 ~a1 ~a2 =
+  if delay < 0.0 then raise (Negative_delay delay);
+  schedule_slot t ~time:(t.clock +. delay) ~kind ~a0 ~a1 ~a2 no_thunk
+
+let schedule_flat_at t ~time ~kind ~a0 ~a1 ~a2 =
+  if time < t.clock then raise (Negative_delay (time -. t.clock));
+  schedule_slot t ~time ~kind ~a0 ~a1 ~a2 no_thunk
+
+(* flat kind + closure payload: the registered handler receives the thunk
+   as its fourth argument.  Saves the wrapper closure at guarded-timer
+   call sites (the guard data rides in the int slots). *)
+let schedule_flat_fn t ~delay ~kind ~a0 f =
+  if delay < 0.0 then raise (Negative_delay delay);
+  schedule_slot t ~time:(t.clock +. delay) ~kind ~a0 ~a1:0 ~a2:0 f
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazy cancel: mark the slot and let the agenda discard it when it
+   surfaces.  The stamp check makes cancelling a fired, already-cancelled
+   or recycled handle a no-op. *)
+let cancel t (h : event) =
+  let s = h land slot_mask in
+  if
+    s < t.cap
+    && Array.unsafe_get t.ev_stamp s = h lsr slot_bits
+    && Array.unsafe_get t.ev_kind s <> k_cancelled
+  then begin
+    Array.unsafe_set t.ev_kind s k_cancelled;
+    Array.unsafe_set t.ev_thunk s no_thunk;
     t.live <- t.live - 1;
     t.cancelled <- t.cancelled + 1
   end
 
 let pending t = t.live
 
+(* ------------------------------------------------------------------ *)
+(* Firing                                                              *)
+(* ------------------------------------------------------------------ *)
+
 let step t =
-  if t.size = 0 then false
+  let s = agenda_pop t in
+  if s < 0 then false
   else begin
-    let cell = pop t in
-    let f = cell.thunk in
-    if f != no_thunk then begin
-      cell.thunk <- no_thunk (* a late cancel of this handle is a no-op *);
+    let kind = Array.unsafe_get t.ev_kind s in
+    if kind = k_cancelled then begin
+      free_slot t s;
+      true
+    end
+    else begin
+      let time = Array.unsafe_get t.ev_time s in
+      let a0 = Array.unsafe_get t.ev_a0 s in
+      let a1 = Array.unsafe_get t.ev_a1 s in
+      let a2 = Array.unsafe_get t.ev_a2 s in
+      let f = Array.unsafe_get t.ev_thunk s in
+      (* free before firing: a late cancel of this handle is a no-op, and
+         the handler may recycle the slot immediately *)
+      free_slot t s;
       t.live <- t.live - 1;
-      t.clock <- cell.time;
+      t.clock <- time;
       t.processed <- t.processed + 1;
-      f ()
-    end;
-    true
+      if kind = k_closure then f () else t.handlers.(kind) a0 a1 a2 f;
+      true
+    end
   end
 
 (* One monotonic timestamp pair per [run]/[run_until] call — not per event
@@ -164,7 +616,8 @@ let run t =
 let run_until t horizon =
   let t0 = Monotonic.now_ns () in
   let rec loop () =
-    if t.size > 0 && t.heap.(0).time <= horizon then begin
+    let s = agenda_peek t in
+    if s >= 0 && t.ev_time.(s) <= horizon then begin
       ignore (step t);
       loop ()
     end
@@ -172,3 +625,37 @@ let run_until t horizon =
   in
   loop ();
   t.wall <- t.wall +. Monotonic.elapsed_seconds ~since:t0
+
+(* ------------------------------------------------------------------ *)
+(* Reuse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Return the engine to the fresh-create state while keeping every arena
+   at its high-water capacity: the driver recycles one engine per domain
+   across sweep/chaos cells, so small cells stop paying allocation and
+   warm-up costs per cell.  Stamps are bumped so handles from the previous
+   life cannot cancel events of the next one. *)
+let reset t =
+  t.clock <- 0.0;
+  t.next_seq <- 0;
+  t.live <- 0;
+  t.processed <- 0;
+  t.cancelled <- 0;
+  t.queue_hwm <- 0;
+  t.wall <- 0.0;
+  t.n_kinds <- 1;
+  for s = 0 to t.cap - 1 do
+    t.ev_kind.(s) <- k_free;
+    t.ev_thunk.(s) <- no_thunk;
+    t.ev_stamp.(s) <- t.ev_stamp.(s) + 1;
+    t.ev_next.(s) <- s + 1
+  done;
+  t.ev_next.(t.cap - 1) <- -1;
+  t.free_head <- 0;
+  t.hp_len <- 0;
+  Array.fill t.wh_buckets 0 wheel_nb (-1);
+  Array.fill t.wh_occ 0 occ_words 0;
+  t.wh_mat <- -1;
+  t.wh_cur_pos <- 0;
+  t.wh_cur_len <- 0;
+  t.ovf_len <- 0

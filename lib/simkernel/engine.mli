@@ -4,15 +4,37 @@
     participants) run on top of a single virtual clock owned by an engine.
     Events scheduled for the same instant fire in scheduling order, which
     makes every simulation run fully deterministic and allows the test suite
-    to assert exact message and log-write counts. *)
+    to assert exact message and log-write counts.
+
+    Internally events live in a flat slot arena (no per-event closure
+    record for the hot classes) ordered by one of two agenda structures:
+    a calendar-queue timing wheel (the default: O(1) schedule/cancel/pop
+    at near-future horizons, sorted overflow for far-future events) or
+    the original binary min-heap, retained as the differential-testing
+    oracle.  Both enforce the identical (time, seq) total order, so the
+    choice never changes a run's results — only its speed.
+    See DESIGN.md §11 for the internals. *)
 
 type t
 
-(** A handle to a scheduled event, usable for cancellation. *)
+(** A handle to a scheduled event, usable for cancellation.  Handles are
+    unboxed ints (slot + generation stamp), so holding one allocates
+    nothing and a handle that outlives its event safely cancels nothing. *)
 type event
 
-val create : unit -> t
-(** A fresh engine with the clock at [0.0] and an empty agenda. *)
+val create : ?agenda:[ `Wheel | `Heap ] -> unit -> t
+(** A fresh engine with the clock at [0.0] and an empty agenda.  [agenda]
+    picks the ordering structure; the default is [`Wheel] unless the
+    [TPC_AGENDA] environment variable says [heap]. *)
+
+val reset : t -> unit
+(** Return the engine to the fresh-create state — clock zero, empty
+    agenda, zeroed counters, no registered kinds — while keeping every
+    internal array at its high-water capacity.  Lets a driver recycle one
+    engine across many small simulation worlds without re-paying
+    allocation warm-up; a world built on a reset engine is byte-identical
+    to one built on a fresh engine.  Outstanding {!event} handles from
+    before the reset are defused (cancelling them is a no-op). *)
 
 val now : t -> float
 (** Current virtual time. *)
@@ -41,6 +63,43 @@ val run_until : t -> float -> unit
 val step : t -> bool
 (** Fire the single next event.  Returns [false] if the agenda was empty. *)
 
+(** {2 Flat events}
+
+    The dominant event classes (network delivery, WAL I/O completion,
+    arrival timers) schedule an int-coded kind plus three unboxed int
+    argument slots instead of a closure: the whole schedule/fire cycle
+    allocates nothing.  A component registers its handler once per engine
+    and passes the returned {!kind} at every schedule site; payloads that
+    are not ints live in the component's own slot arenas, indexed by an
+    argument slot. *)
+
+type kind
+(** An int-coded event class, valid for the engine that registered it
+    (until the next {!reset}). *)
+
+type handler = int -> int -> int -> (unit -> unit) -> unit
+(** [handler a0 a1 a2 thunk] receives the three int argument slots and the
+    optional closure payload ({!Stdlib.ignore} it for pure flat events). *)
+
+val register_kind : t -> name:string -> handler -> kind
+(** Install a handler for a new event kind.  [name] is observational only
+    (profiling output). *)
+
+val kind_names : t -> string list
+(** Names of the registered kinds, index order, "closure" first. *)
+
+val schedule_flat : t -> delay:float -> kind:kind -> a0:int -> a1:int -> a2:int -> event
+(** Allocation-free {!schedule}: at [now +. delay] the kind's handler runs
+    with the given argument slots. *)
+
+val schedule_flat_at : t -> time:float -> kind:kind -> a0:int -> a1:int -> a2:int -> event
+(** Absolute-time variant of {!schedule_flat}. *)
+
+val schedule_flat_fn : t -> delay:float -> kind:kind -> a0:int -> (unit -> unit) -> event
+(** Flat kind with a closure payload: the handler receives [a0] and the
+    closure.  One allocation (the closure itself) instead of two — used
+    for guarded timers whose guard data rides in [a0]. *)
+
 (** {2 Profiling}
 
     Observational counters maintained by the engine itself; nothing in the
@@ -59,6 +118,15 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val agenda : t -> [ `Wheel | `Heap ]
+(** Which agenda structure this engine runs on. *)
+
+val agenda_name : t -> string
+(** ["wheel"] or ["heap"], for profiling output. *)
+
+val arena_capacity : t -> int
+(** Current event-arena capacity in slots (grow-only; kept by {!reset}). *)
 
 exception Negative_delay of float
 (** Raised by {!schedule} on a negative delay and by {!schedule_at} on a

@@ -17,25 +17,70 @@ type t = {
   mutable batch : (int * (unit -> unit)) list; (* high-water mark, continuation *)
   mutable batch_timer : Simkernel.Engine.event option;
   mutable epoch : int; (* bumped on crash so in-flight I/O completions are ignored *)
+  (* An I/O completion schedules as a flat event: a0 indexes the pending
+     continuation list in this freelist-chained arena, a1 is the high-water
+     mark, a2 the epoch the force was issued under. *)
+  io_kind : Simkernel.Engine.kind;
+  batch_kind : Simkernel.Engine.kind;
+  mutable io_conts : (unit -> unit) list array;
+  mutable io_next : int array;
+  mutable io_free : int;
 }
 
 let default_config = { io_latency = 0.5; group = None }
 
+(* forward reference: the batch-timer kind fires [flush_batch], which is
+   defined below [create] *)
+let batch_fire : (t -> unit) ref = ref (fun _ -> ())
+
+let io_complete t slot upto epoch =
+  let conts = t.io_conts.(slot) in
+  t.io_conts.(slot) <- [];
+  t.io_next.(slot) <- t.io_free;
+  t.io_free <- slot;
+  if t.epoch = epoch then begin
+    if upto > t.durable_upto then t.durable_upto <- upto;
+    List.iter (fun k -> k ()) conts
+  end
+
 let create engine ~node ?(config = default_config) () =
-  {
-    engine;
-    node_name = node;
-    cfg = config;
-    records = Array.make 32 (Log_record.make ~txn:"" ~node:"" Log_record.End);
-    len = 0;
-    durable_upto = 0;
-    writes = 0;
-    forced_writes = 0;
-    force_ios = 0;
-    batch = [];
-    batch_timer = None;
-    epoch = 0;
-  }
+  let tref = ref None in
+  let with_t f a0 a1 a2 _ =
+    match !tref with Some t -> f t a0 a1 a2 | None -> ()
+  in
+  let io_kind =
+    Simkernel.Engine.register_kind engine ~name:"wal.io" (with_t io_complete)
+  in
+  let batch_kind =
+    Simkernel.Engine.register_kind engine ~name:"wal.batch"
+      (with_t (fun t _ _ _ ->
+           t.batch_timer <- None;
+           !batch_fire t))
+  in
+  let cap = 8 in
+  let t =
+    {
+      engine;
+      node_name = node;
+      cfg = config;
+      records = Array.make 32 (Log_record.make ~txn:"" ~node:"" Log_record.End);
+      len = 0;
+      durable_upto = 0;
+      writes = 0;
+      forced_writes = 0;
+      force_ios = 0;
+      batch = [];
+      batch_timer = None;
+      epoch = 0;
+      io_kind;
+      batch_kind;
+      io_conts = Array.make cap [];
+      io_next = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1);
+      io_free = 0;
+    }
+  in
+  tref := Some t;
+  t
 
 let node t = t.node_name
 let config t = t.cfg
@@ -57,13 +102,23 @@ let append t r =
    [conts] fire after the I/O latency, unless a crash bumped the epoch. *)
 let physical_force t ~upto conts =
   t.force_ios <- t.force_ios + 1;
-  let epoch = t.epoch in
+  if t.io_free = -1 then begin
+    let cap = Array.length t.io_conts in
+    let cap' = 2 * cap in
+    let io_conts = Array.make cap' [] in
+    Array.blit t.io_conts 0 io_conts 0 cap;
+    let next = Array.init cap' (fun i -> if i = cap' - 1 then -1 else i + 1) in
+    Array.blit t.io_next 0 next 0 cap;
+    t.io_conts <- io_conts;
+    t.io_next <- next;
+    t.io_free <- cap
+  end;
+  let slot = t.io_free in
+  t.io_free <- t.io_next.(slot);
+  t.io_conts.(slot) <- conts;
   ignore
-    (Simkernel.Engine.schedule t.engine ~delay:t.cfg.io_latency (fun () ->
-         if t.epoch = epoch then begin
-           if upto > t.durable_upto then t.durable_upto <- upto;
-           List.iter (fun k -> k ()) conts
-         end))
+    (Simkernel.Engine.schedule_flat t.engine ~delay:t.cfg.io_latency
+       ~kind:t.io_kind ~a0:slot ~a1:upto ~a2:t.epoch)
 
 let flush_batch t =
   (match t.batch_timer with
@@ -79,6 +134,8 @@ let flush_batch t =
       let conts = List.rev_map snd batch in
       physical_force t ~upto conts
 
+let () = batch_fire := flush_batch
+
 let enqueue_force t k =
   match t.cfg.group with
   | None -> physical_force t ~upto:t.len [ k ]
@@ -88,9 +145,8 @@ let enqueue_force t k =
       else if t.batch_timer = None then
         t.batch_timer <-
           Some
-            (Simkernel.Engine.schedule t.engine ~delay:g.timeout (fun () ->
-                 t.batch_timer <- None;
-                 flush_batch t))
+            (Simkernel.Engine.schedule_flat t.engine ~delay:g.timeout
+               ~kind:t.batch_kind ~a0:0 ~a1:0 ~a2:0)
 
 let force t r k =
   push t r;

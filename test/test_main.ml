@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tpc"
     [
       ("engine", Test_engine.suite);
+      ("kernel-diff", Test_kernel_diff.suite);
       ("types-msg", Test_types_msg.suite);
       ("rng", Test_rng.suite);
       ("wal", Test_wal.suite);
